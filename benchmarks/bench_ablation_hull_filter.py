@@ -1,0 +1,15 @@
+"""Ablation: the pre-processed convex-hull filter (paper Table 1)."""
+
+from repro.bench import ablation_hull_filter
+
+
+def test_ablation_hull_filter(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: ablation_hull_filter(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+    plain = next(r for r in result.rows if r[0] == "mbr-only")
+    hulls = next(r for r in result.rows if r[0] == "mbr+hulls")
+    # Hull filtering refines fewer pairs, at a pre-processing price.
+    assert hulls[5] <= plain[5]
+    assert hulls[1] > plain[1]

@@ -1,0 +1,19 @@
+"""Ablation: the five overlap-search buffer mechanisms (paper section 3)."""
+
+from repro.bench import ablation_overlap_methods
+
+
+def test_ablation_overlap_methods(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: ablation_overlap_methods(scale=bench_scale),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    rejects = {r[3] for r in result.rows}
+    assert len(rejects) == 1, "all mechanisms filter identically"
+    by_method = {r[0]: r for r in result.rows}
+    # Only the accumulation variant pays glAccum transfers.
+    assert by_method["accum"][4] > 0
+    for method in ("blend", "logic", "depth", "stencil"):
+        assert by_method[method][4] == 0

@@ -1,0 +1,19 @@
+"""Extension: containment selection (paper Table 1, interior filter)."""
+
+from repro.bench import ext_containment
+
+
+def test_ext_containment(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: ext_containment(scale=bench_scale, resolutions=(8, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    sw = next(r for r in result.rows if r[0] == "software")
+    for r in result.rows:
+        if r[0] != "hardware":
+            continue
+        # Hardware-confirmed positives must reduce software sweeps.
+        assert r[5] <= sw[5]
+        assert r[4] >= 0

@@ -1,0 +1,15 @@
+"""Table 2: dataset generation and statistics."""
+
+from repro.bench import table2
+
+
+def test_table2_dataset_statistics(benchmark, bench_scale, record_result):
+    result = benchmark.pedantic(
+        lambda: table2(scale=bench_scale), rounds=1, iterations=1
+    )
+    record_result(result)
+    # Shape assertions: the stand-ins must keep the paper's relative
+    # complexity ordering (Table 2).
+    stats = {row[0]: row for row in result.rows}
+    assert stats["LANDC"][4] > 2 * stats["LANDO"][4], "LANDC must be more complex"
+    assert stats["WATER"][3] > 5 * stats["WATER"][4], "WATER needs a heavy tail"

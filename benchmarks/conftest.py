@@ -1,0 +1,43 @@
+"""Shared configuration for the pytest-benchmark harness.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper via
+the drivers in :mod:`repro.bench.experiments`.  Benchmarks default to the
+``tiny`` scale so the whole suite finishes in a few minutes; set
+``REPRO_BENCH_SCALE=small`` (or ``medium``) for closer-to-paper workloads.
+
+The formatted experiment tables are printed at the end of the run and also
+written to ``benchmarks/results/<experiment>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench import get_scale
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    """The workload scale preset for this benchmark session."""
+    return get_scale(os.environ.get("REPRO_BENCH_SCALE", "tiny"))
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Write an ExperimentResult table to benchmarks/results/ and echo it."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        text = result.format()
+        path.write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+        return result
+
+    return _record

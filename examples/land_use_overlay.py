@@ -1,0 +1,77 @@
+"""Land-use overlay: tune the hardware window and software threshold.
+
+The motivating GIS workload of the paper's introduction: overlay a
+land-cover layer with a land-ownership layer to find every
+(vegetation patch, ownership parcel) pair that intersects - the first step
+of questions like "how much aspen stands on federal land?".
+
+This example runs the overlay at several rendering-window resolutions and
+software thresholds, reporting the work distribution and the modeled
+2003-platform refinement time for each - a miniature of the paper's
+Figures 12 and 13 that you can point at your own parameters.
+
+Run:  python examples/land_use_overlay.py
+"""
+
+from repro import (
+    HardwareConfig,
+    HardwareEngine,
+    IntersectionJoin,
+    SoftwareEngine,
+    datasets,
+)
+from repro.core import PLATFORM_2003
+
+
+def run_engine(engine, landc, lando):
+    result = IntersectionJoin(landc, lando, engine).run()
+    model_ms = PLATFORM_2003.engine_seconds(engine) * 1e3
+    return result, model_ms
+
+
+def main() -> None:
+    landc = datasets.load("LANDC", n_scale=0.004, v_scale=1.0)
+    lando = datasets.load("LANDO", n_scale=0.004, v_scale=1.0)
+    print(f"{landc.name}: {landc.stats().row()}")
+    print(f"{lando.name}: {lando.stats().row()}")
+
+    software = SoftwareEngine()
+    reference, sw_model = run_engine(software, landc, lando)
+    print(
+        f"\nsoftware baseline: {len(reference.pairs)} overlapping pairs, "
+        f"modeled {sw_model:.2f} ms"
+    )
+
+    print("\nresolution sweep (threshold 0):")
+    print("  res   model_ms   vs_sw   hw_reject_rate")
+    for res in (2, 4, 8, 16, 32):
+        engine = HardwareEngine(HardwareConfig(resolution=res))
+        result, model_ms = run_engine(engine, landc, lando)
+        assert result.pairs == reference.pairs
+        print(
+            f"  {res:>3}   {model_ms:8.2f}   {sw_model / model_ms:5.2f}x"
+            f"   {engine.stats.hw_filter_rate:.2f}"
+        )
+
+    print("\nsw_threshold sweep (8x8 window):")
+    print("  threshold   model_ms   vs_sw   bypassed_pairs")
+    for threshold in (0, 100, 300, 600, 1200):
+        engine = HardwareEngine(
+            HardwareConfig(resolution=8, sw_threshold=threshold)
+        )
+        result, model_ms = run_engine(engine, landc, lando)
+        assert result.pairs == reference.pairs
+        print(
+            f"  {threshold:>9}   {model_ms:8.2f}   {sw_model / model_ms:5.2f}x"
+            f"   {engine.stats.threshold_bypasses}"
+        )
+
+    print(
+        "\nAs in the paper (section 4.3): for this simple-polygon overlay the"
+        "\nhardware margin is thin, and the software threshold recovers the"
+        "\noverhead spent testing trivial pairs in hardware."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Proximity analysis: buffer queries over hydrography and climate zones.
+
+A within-distance join (the paper's "buffer query", section 4.4): find all
+(water body, precipitation zone) pairs within distance D - the kind of
+question behind riparian-buffer regulations or flood-zone climatology.
+
+The example sweeps the query distance in multiples of BaseD (the paper's
+Equation 2 distance unit), comparing the software frontier-chain minDist
+against the hardware widened-line test, and showing the device's
+line-width limit forcing software fallbacks at large distances.
+
+Run:  python examples/proximity_analysis.py
+"""
+
+from repro import (
+    HardwareConfig,
+    HardwareEngine,
+    SoftwareEngine,
+    WithinDistanceJoin,
+    base_distance,
+    datasets,
+)
+from repro.core import PLATFORM_2003
+
+
+def main() -> None:
+    water = datasets.load("WATER", n_scale=0.003, v_scale=1.0)
+    prism = datasets.load("PRISM", n_scale=0.06, v_scale=1.0)
+    print(f"{water.name}: {water.stats().row()}")
+    print(f"{prism.name}: {prism.stats().row()}")
+
+    base_d = base_distance(water, prism)
+    print(f"\nBaseD (Equation 2) = {base_d:.3f} degrees")
+
+    print("\n D/BaseD   pairs   sw_model_ms   hw_model_ms   saving   fallbacks")
+    for factor in (0.1, 0.5, 1.0, 2.0, 4.0):
+        d = base_d * factor
+        software = SoftwareEngine()
+        sw_result = WithinDistanceJoin(water, prism, software).run(d)
+        sw_ms = PLATFORM_2003.engine_seconds(software) * 1e3
+
+        hardware = HardwareEngine(
+            HardwareConfig(resolution=8, sw_threshold=100)
+        )
+        hw_result = WithinDistanceJoin(water, prism, hardware).run(d)
+        hw_ms = PLATFORM_2003.engine_seconds(hardware) * 1e3
+        assert hw_result.pairs == sw_result.pairs
+
+        saving = (1.0 - hw_ms / sw_ms) * 100.0 if sw_ms else 0.0
+        print(
+            f"  {factor:>6}   {len(sw_result.pairs):>5}   {sw_ms:11.2f}"
+            f"   {hw_ms:11.2f}   {saving:5.1f}%"
+            f"   {hardware.stats.width_limit_fallbacks:>9}"
+        )
+
+    print(
+        "\nThe margin narrows as D grows (paper Figure 16): widened lines"
+        "\ncover more pixels, and once Equation (1) demands more than the"
+        "\ndevice's 10-pixel anti-aliased line width, pairs fall back to the"
+        "\nsoftware distance test."
+    )
+
+    # The 0/1-Object filters at work: how many pairs never needed geometry.
+    software = SoftwareEngine()
+    res = WithinDistanceJoin(water, prism, software).run(base_d)
+    c = res.cost
+    print(
+        f"\nat D = BaseD: {c.candidates_after_mbr} MBR candidates, "
+        f"{c.filter_positives} resolved by the 0/1-Object filters, "
+        f"{c.pairs_compared} needed geometry comparison"
+    )
+
+
+if __name__ == "__main__":
+    main()

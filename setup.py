@@ -1,0 +1,6 @@
+"""Legacy setup shim: lets `pip install -e .` work without the wheel package
+(this environment has no network access to fetch build dependencies)."""
+
+from setuptools import setup
+
+setup()

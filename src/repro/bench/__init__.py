@@ -1,0 +1,59 @@
+"""Benchmark harness: drivers for every table and figure of the paper.
+
+Run from the command line::
+
+    python -m repro.bench list
+    python -m repro.bench fig12 --scale small
+    python -m repro.bench all --scale tiny
+
+or through pytest-benchmark (``pytest benchmarks/ --benchmark-only``).
+"""
+
+from .experiments import (
+    ALL_EXPERIMENTS,
+    ablation_hull_filter,
+    ablation_mindist_opts,
+    ablation_minmax,
+    ablation_overlap_methods,
+    ablation_projection,
+    ablation_restricted_sweep,
+    fig10_selection_tiling,
+    fig11_selection_resolution,
+    fig12_join_resolution,
+    fig13_sw_threshold,
+    fig14_distance_software,
+    fig15_distance_resolution,
+    ext_containment,
+    ext_distance_field,
+    ext_voronoi_nn,
+    fig16_distance_sweep,
+    table2,
+)
+from .result import ExperimentResult
+from .scales import DEFAULT_SCALE, SCALES, Scale, get_scale
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "DEFAULT_SCALE",
+    "ExperimentResult",
+    "SCALES",
+    "Scale",
+    "ablation_hull_filter",
+    "ablation_mindist_opts",
+    "ablation_minmax",
+    "ablation_overlap_methods",
+    "ablation_projection",
+    "ablation_restricted_sweep",
+    "fig10_selection_tiling",
+    "fig11_selection_resolution",
+    "fig12_join_resolution",
+    "fig13_sw_threshold",
+    "fig14_distance_software",
+    "fig15_distance_resolution",
+    "ext_containment",
+    "ext_distance_field",
+    "ext_voronoi_nn",
+    "fig16_distance_sweep",
+    "get_scale",
+    "table2",
+]

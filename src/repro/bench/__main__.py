@@ -1,0 +1,76 @@
+"""Command-line entry point for the experiment drivers.
+
+Examples::
+
+    python -m repro.bench list
+    python -m repro.bench table2
+    python -m repro.bench fig12 --scale tiny
+    python -m repro.bench all --scale small --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+from .scales import DEFAULT_SCALE, SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (see 'list'), or 'list', or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default=DEFAULT_SCALE,
+        choices=sorted(SCALES),
+        help=f"workload scale preset (default: {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also append formatted results to this file",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+
+    if args.experiment == "all":
+        names = list(ALL_EXPERIMENTS)
+    elif args.experiment in ALL_EXPERIMENTS:
+        names = [args.experiment]
+    else:
+        print(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(ALL_EXPERIMENTS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    outputs = []
+    for name in names:
+        start = time.perf_counter()
+        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        elapsed = time.perf_counter() - start
+        text = result.format() + f"\n(driver wall time: {elapsed:.1f} s)\n"
+        print(text)
+        outputs.append(text)
+
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as f:
+            f.write("\n".join(outputs) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,1183 @@
+"""Experiment drivers: one function per table/figure of the paper.
+
+Each driver regenerates the rows/series of its table or figure at a chosen
+:mod:`~repro.bench.scales` preset and returns an
+:class:`~repro.bench.result.ExperimentResult` whose ``paper_expectation``
+records the qualitative shape the paper reports.  ``python -m repro.bench``
+runs them from the command line; ``benchmarks/`` wraps them for
+pytest-benchmark; EXPERIMENTS.md records paper-vs-measured.
+
+Every hardware-vs-software comparison reports **two clocks** (see
+:mod:`repro.core.platform`):
+
+* ``wall_ms`` - honest host milliseconds of this Python process;
+* ``model_ms`` - modeled milliseconds on the paper's 2003 testbed, computed
+  from the deterministic operation counts both engines record.  The paper's
+  cost *shapes* are evaluated on the modeled clock, since charging a
+  parallel rasterizer at serial-interpreted-Python rates would misstate the
+  comparison the paper makes.
+
+Selection experiments report the average cost per query over the STATES50
+query set, exactly as the paper does (section 4.1.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..core import (
+    OVERLAP_METHODS,
+    PLATFORM_2003,
+    HardwareConfig,
+    HardwareEngine,
+    HardwareSegmentTest,
+    HardwareVerdict,
+    SoftwareEngine,
+)
+from ..core.projection import intersection_window, union_window
+from ..datasets import SpatialDataset, base_distance
+from ..geometry import SweepStats, boundaries_intersect, polygons_within_distance
+from ..index import plane_sweep_mbr_join
+from ..query import IntersectionJoin, IntersectionSelection, WithinDistanceJoin
+from .result import ExperimentResult
+from .scales import DEFAULT_SCALE, Scale, get_scale
+
+RESOLUTIONS = (1, 2, 4, 8, 16, 32)
+DISTANCE_FACTORS = (0.1, 0.5, 1.0, 2.0, 4.0)
+JOIN_PAIRS = (("LANDC", "LANDO"), ("WATER", "PRISM"))
+SELECTION_DATASETS = ("WATER", "PRISM")
+
+_MS = 1000.0
+
+
+def _params(scale: Scale, role: str, datasets: Sequence[str], **extra) -> Dict[str, object]:
+    out: Dict[str, object] = {"scale": scale.name, "v_scale": scale.v_scale}
+    for name in datasets:
+        out[f"n_scale[{name}]"] = scale.n_scale(name, role)
+    out.update(extra)
+    return out
+
+
+def _model_ms(engine) -> float:
+    """Modeled 2003-platform milliseconds of an engine's recorded work."""
+    return PLATFORM_2003.engine_seconds(engine) * _MS
+
+
+# ---------------------------------------------------------------------------
+# Table 2
+# ---------------------------------------------------------------------------
+
+
+def table2(scale=DEFAULT_SCALE) -> ExperimentResult:
+    """Table 2: dataset statistics (synthetic stand-ins vs. paper targets)."""
+    scale = get_scale(scale)
+    from ..datasets import CATALOG
+
+    rows: List[Tuple] = []
+    for name, entry in CATALOG.items():
+        ds = scale.load(name, role="join")
+        stats = ds.stats()
+        rows.append(
+            (
+                name,
+                stats.count,
+                stats.min_vertices,
+                stats.max_vertices,
+                round(stats.mean_vertices, 1),
+                entry.count,
+                entry.vmin,
+                entry.vmax,
+                entry.vmean,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Statistics of the polygon datasets (scaled stand-ins)",
+        params=_params(scale, "join", [r[0] for r in rows]),
+        columns=(
+            "dataset",
+            "N",
+            "min_v",
+            "max_v",
+            "mean_v",
+            "paper_N",
+            "paper_min",
+            "paper_max",
+            "paper_mean",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Five real GIS layers; LANDC/PRISM/WATER are complex (high mean "
+            "vertex counts with heavy-tailed maxima), LANDO is simple (mean "
+            "20), STATES50 has 31 large polygons."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 10: selection cost breakdown vs interior-filter tiling level
+# ---------------------------------------------------------------------------
+
+
+def fig10_selection_tiling(
+    scale=DEFAULT_SCALE,
+    datasets: Sequence[str] = SELECTION_DATASETS,
+    levels: Iterable[int] = range(0, 7),
+) -> ExperimentResult:
+    """Figure 10: software-only selection cost per interior-filter level."""
+    scale = get_scale(scale)
+    queries = scale.load("STATES50", role="selection").polygons
+    rows: List[Tuple] = []
+    for name in datasets:
+        ds = scale.load(name, role="selection")
+        for level in levels:
+            engine = SoftwareEngine()
+            selection = IntersectionSelection(ds, engine, interior_level=level)
+            cost = selection.run_query_set(list(queries))
+            rows.append(
+                (
+                    name,
+                    level,
+                    cost.mbr_filter_s * _MS,
+                    cost.intermediate_filter_s * _MS,
+                    cost.geometry_s * _MS,
+                    cost.total_s * _MS,
+                    cost.filter_positives,
+                    cost.results,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Intersection selection cost breakdown vs tiling level (software)",
+        params=_params(scale, "selection", datasets, queries="STATES50"),
+        columns=(
+            "dataset",
+            "level",
+            "mbr_ms",
+            "interior_ms",
+            "geometry_ms",
+            "total_ms",
+            "filter_pos",
+            "results",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "MBR filtering is negligible (~1 ms); geometry comparison "
+            "dominates; higher tiling levels reduce geometry cost by <10% "
+            "(the filter only catches containment positives, which the "
+            "point-in-polygon step handles cheaply anyway) while the "
+            "interior-filter overhead grows, so total cost eventually rises."
+        ),
+        notes=["wall-clock stage times (software-only experiment)"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: selection geometry comparison, software vs hardware
+# ---------------------------------------------------------------------------
+
+
+def fig11_selection_resolution(
+    scale=DEFAULT_SCALE,
+    datasets: Sequence[str] = SELECTION_DATASETS,
+    resolutions: Sequence[int] = RESOLUTIONS,
+) -> ExperimentResult:
+    """Figure 11: selection geometry-comparison cost vs window resolution."""
+    scale = get_scale(scale)
+    queries = list(scale.load("STATES50", role="selection").polygons)
+    rows: List[Tuple] = []
+    for name in datasets:
+        ds = scale.load(name, role="selection")
+        sw = SoftwareEngine()
+        sw_cost = IntersectionSelection(ds, sw).run_query_set(queries)
+        sw_model = _model_ms(sw) / len(queries)
+        rows.append(
+            (name, "software", "-", sw_cost.geometry_s * _MS, sw_model, "-", "-")
+        )
+        for res in resolutions:
+            hw = HardwareEngine(HardwareConfig(resolution=res))
+            cost = IntersectionSelection(ds, hw).run_query_set(queries)
+            hw_model = _model_ms(hw) / len(queries)
+            rows.append(
+                (
+                    name,
+                    "hardware",
+                    res,
+                    cost.geometry_s * _MS,
+                    hw_model,
+                    round(hw.stats.hw_filter_rate, 3),
+                    round(sw_model / hw_model, 2) if hw_model else "-",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Selection geometry comparison: software vs hardware by resolution",
+        params=_params(scale, "selection", datasets, queries="STATES50"),
+        columns=(
+            "dataset",
+            "engine",
+            "res",
+            "wall_ms",
+            "model_ms",
+            "hw_filter_rate",
+            "model_speedup",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Hardware cost first falls with resolution (more near-miss pairs "
+            "filtered) then rises (per-pixel overhead); best around 16x16; "
+            "cost reduced 42-56% for WATER and 46-64% for PRISM; even a 1x1 "
+            "window filters some pairs."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: intersection join, software vs hardware by resolution
+# ---------------------------------------------------------------------------
+
+
+def fig12_join_resolution(
+    scale=DEFAULT_SCALE,
+    pairs: Sequence[Tuple[str, str]] = JOIN_PAIRS,
+    resolutions: Sequence[int] = RESOLUTIONS,
+) -> ExperimentResult:
+    """Figure 12: intersection join geometry cost vs window resolution."""
+    scale = get_scale(scale)
+    rows: List[Tuple] = []
+    for name_a, name_b in pairs:
+        ds_a = scale.load(name_a, role="join")
+        ds_b = scale.load(name_b, role="join")
+        label = f"{name_a}|><|{name_b}"
+        sw = SoftwareEngine()
+        sw_res = IntersectionJoin(ds_a, ds_b, sw).run()
+        sw_model = _model_ms(sw)
+        rows.append(
+            (label, "software", "-", sw_res.cost.geometry_s * _MS, sw_model, "-", "-")
+        )
+        for res in resolutions:
+            hw = HardwareEngine(HardwareConfig(resolution=res))
+            hw_res = IntersectionJoin(ds_a, ds_b, hw).run()
+            assert hw_res.pairs == sw_res.pairs, "engines must agree exactly"
+            hw_model = _model_ms(hw)
+            rows.append(
+                (
+                    label,
+                    "hardware",
+                    res,
+                    hw_res.cost.geometry_s * _MS,
+                    hw_model,
+                    round(hw.stats.hw_filter_rate, 3),
+                    round(sw_model / hw_model, 2) if hw_model else "-",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig12",
+        title="Intersection join geometry comparison by resolution",
+        params=_params(scale, "join", {n for p in pairs for n in p}),
+        columns=(
+            "join",
+            "engine",
+            "res",
+            "wall_ms",
+            "model_ms",
+            "hw_filter_rate",
+            "model_speedup",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Cost falls then rises with resolution; 68-80% reduction for "
+            "WATER|><|PRISM (up to 4.8x speedup), at best 38% for "
+            "LANDC|><|LANDO, where high resolutions can make hardware "
+            "*worse* than software (simple polygons, fixed per-test "
+            "overhead)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: the sw_threshold sweep
+# ---------------------------------------------------------------------------
+
+
+def fig13_sw_threshold(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("LANDC", "LANDO"),
+    resolutions: Sequence[int] = (8, 16),
+    thresholds: Sequence[int] = (0, 50, 100, 200, 300, 500, 700, 900, 1200, 1500),
+) -> ExperimentResult:
+    """Figure 13: effect of the software threshold on the hybrid join."""
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    label = f"{pair[0]}|><|{pair[1]}"
+    sw = SoftwareEngine()
+    sw_res = IntersectionJoin(ds_a, ds_b, sw).run()
+    sw_model = _model_ms(sw)
+    rows: List[Tuple] = [
+        (label, "software", "-", "-", sw_res.cost.geometry_s * _MS, sw_model, "-")
+    ]
+    for res in resolutions:
+        for threshold in thresholds:
+            hw = HardwareEngine(
+                HardwareConfig(resolution=res, sw_threshold=threshold)
+            )
+            hw_res = IntersectionJoin(ds_a, ds_b, hw).run()
+            assert hw_res.pairs == sw_res.pairs
+            rows.append(
+                (
+                    label,
+                    "hardware",
+                    res,
+                    threshold,
+                    hw_res.cost.geometry_s * _MS,
+                    _model_ms(hw),
+                    hw.stats.threshold_bypasses,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Effect of sw_threshold on hybrid intersection join",
+        params=_params(scale, "join", pair, pair=label),
+        columns=(
+            "join",
+            "engine",
+            "res",
+            "threshold",
+            "wall_ms",
+            "model_ms",
+            "bypasses",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Cost improves as the threshold grows to an optimum (~900 at "
+            "16x16, ~300 at 8x8 on the paper's platform), then slowly "
+            "degrades toward the software curve; a wide range of thresholds "
+            "is near-optimal (within ~12%)."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: software within-distance join cost vs query distance
+# ---------------------------------------------------------------------------
+
+
+def fig14_distance_software(
+    scale=DEFAULT_SCALE,
+    pairs: Sequence[Tuple[str, str]] = JOIN_PAIRS,
+    factors: Sequence[float] = DISTANCE_FACTORS,
+) -> ExperimentResult:
+    """Figure 14: software within-distance join, cost breakdown vs D."""
+    scale = get_scale(scale)
+    rows: List[Tuple] = []
+    for name_a, name_b in pairs:
+        ds_a = scale.load(name_a, role="join")
+        ds_b = scale.load(name_b, role="join")
+        label = f"{name_a}|><|{name_b}"
+        base_d = base_distance(ds_a, ds_b)
+        for factor in factors:
+            engine = SoftwareEngine()
+            join = WithinDistanceJoin(ds_a, ds_b, engine)
+            res = join.run(base_d * factor)
+            c = res.cost
+            rows.append(
+                (
+                    label,
+                    factor,
+                    c.mbr_filter_s * _MS,
+                    c.intermediate_filter_s * _MS,
+                    c.geometry_s * _MS,
+                    c.total_s * _MS,
+                    _model_ms(engine),
+                    c.filter_positives,
+                    c.results,
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Within-distance join (software): cost breakdown vs distance",
+        params=_params(
+            scale, "join", {n for p in pairs for n in p}, factors=list(factors)
+        ),
+        columns=(
+            "join",
+            "D/BaseD",
+            "mbr_ms",
+            "filters_ms",
+            "geometry_ms",
+            "total_ms",
+            "model_geom_ms",
+            "filter_pos",
+            "results",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Within-distance joins cost more than intersection joins; "
+            "despite aggressive 0/1-Object filtering the geometry comparison "
+            "still dominates the total cost."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: within-distance geometry comparison, sw vs hw by resolution
+# ---------------------------------------------------------------------------
+
+
+def fig15_distance_resolution(
+    scale=DEFAULT_SCALE,
+    pairs: Sequence[Tuple[str, str]] = JOIN_PAIRS,
+    resolutions: Sequence[int] = RESOLUTIONS,
+    factor: float = 1.0,
+) -> ExperimentResult:
+    """Figure 15: within-distance geometry cost vs resolution at D=BaseD."""
+    scale = get_scale(scale)
+    rows: List[Tuple] = []
+    for name_a, name_b in pairs:
+        ds_a = scale.load(name_a, role="join")
+        ds_b = scale.load(name_b, role="join")
+        label = f"{name_a}|><|{name_b}"
+        d = base_distance(ds_a, ds_b) * factor
+        sw = SoftwareEngine()
+        sw_res = WithinDistanceJoin(ds_a, ds_b, sw).run(d)
+        sw_model = _model_ms(sw)
+        rows.append(
+            (
+                label,
+                "software",
+                "-",
+                sw_res.cost.geometry_s * _MS,
+                sw_model,
+                "-",
+                "-",
+                "-",
+            )
+        )
+        for res in resolutions:
+            hw = HardwareEngine(HardwareConfig(resolution=res, sw_threshold=0))
+            hw_res = WithinDistanceJoin(ds_a, ds_b, hw).run(d)
+            assert hw_res.pairs == sw_res.pairs
+            hw_model = _model_ms(hw)
+            rows.append(
+                (
+                    label,
+                    "hardware",
+                    res,
+                    hw_res.cost.geometry_s * _MS,
+                    hw_model,
+                    round(hw.stats.hw_filter_rate, 3),
+                    hw.stats.width_limit_fallbacks,
+                    round(sw_model / hw_model, 2) if hw_model else "-",
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig15",
+        title="Within-distance geometry comparison by resolution (D = BaseD)",
+        params=_params(
+            scale, "join", {n for p in pairs for n in p}, factor=factor
+        ),
+        columns=(
+            "join",
+            "engine",
+            "res",
+            "wall_ms",
+            "model_ms",
+            "hw_filter_rate",
+            "width_fallbacks",
+            "model_speedup",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Same falling-then-rising shape as intersection; widened lines "
+            "are costlier to render, so hardware barely beats software for "
+            "LANDC|><|LANDO but cuts 60-81% (up to 5.9x) for WATER|><|PRISM."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: hardware within-distance join across query distances
+# ---------------------------------------------------------------------------
+
+
+def fig16_distance_sweep(
+    scale=DEFAULT_SCALE,
+    pairs: Sequence[Tuple[str, str]] = JOIN_PAIRS,
+    factors: Sequence[float] = DISTANCE_FACTORS,
+    resolution: int = 8,
+    sw_threshold: int = 500,
+) -> ExperimentResult:
+    """Figure 16: hardware vs software as D grows (8x8, threshold 500)."""
+    scale = get_scale(scale)
+    rows: List[Tuple] = []
+    for name_a, name_b in pairs:
+        ds_a = scale.load(name_a, role="join")
+        ds_b = scale.load(name_b, role="join")
+        label = f"{name_a}|><|{name_b}"
+        base_d = base_distance(ds_a, ds_b)
+        for factor in factors:
+            d = base_d * factor
+            sw = SoftwareEngine()
+            sw_res = WithinDistanceJoin(ds_a, ds_b, sw).run(d)
+            sw_model = _model_ms(sw)
+            hw = HardwareEngine(
+                HardwareConfig(resolution=resolution, sw_threshold=sw_threshold)
+            )
+            hw_res = WithinDistanceJoin(ds_a, ds_b, hw).run(d)
+            assert hw_res.pairs == sw_res.pairs
+            hw_model = _model_ms(hw)
+            improvement = (
+                (1.0 - hw_model / sw_model) * 100.0 if sw_model else 0.0
+            )
+            rows.append(
+                (
+                    label,
+                    factor,
+                    sw_model,
+                    hw_model,
+                    round(improvement, 1),
+                    hw.stats.width_limit_fallbacks,
+                    len(sw_res.pairs),
+                )
+            )
+    return ExperimentResult(
+        experiment_id="fig16",
+        title="Within-distance join vs query distance (hardware 8x8, threshold 500)",
+        params=_params(
+            scale,
+            "join",
+            {n for p in pairs for n in p},
+            resolution=resolution,
+            sw_threshold=sw_threshold,
+        ),
+        columns=(
+            "join",
+            "D/BaseD",
+            "sw_model_ms",
+            "hw_model_ms",
+            "improvement_%",
+            "width_fallbacks",
+            "results",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "The hardware margin narrows as D grows (thicker lines cost "
+            "more; Equation-1 widths beyond the 10px device limit force "
+            "software fallback): LANDC|><|LANDO improvement shrinks from "
+            "43% to ~0, WATER|><|PRISM from 83% to 74%."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: the distance-insensitive test (section 5 future work)
+# ---------------------------------------------------------------------------
+
+
+def ext_distance_field(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("WATER", "PRISM"),
+    factors: Sequence[float] = DISTANCE_FACTORS,
+    resolution: int = 32,
+    sw_threshold: int = 500,
+) -> ExperimentResult:
+    """Section 5's announced future work: widened lines vs. distance field.
+
+    The published widened-line test degrades as D grows and reverts to
+    software beyond the device's 10-pixel line-width limit (visible at
+    32x32 in figure 15); the distance-field test renders thin boundaries
+    once and evaluates a field, so its cost is independent of D and no
+    fallback ever occurs.
+    """
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    label = f"{pair[0]}|><|{pair[1]}"
+    base_d = base_distance(ds_a, ds_b)
+    rows: List[Tuple] = []
+    for factor in factors:
+        d = base_d * factor
+        reference = None
+        per_mode = {}
+        for mode in ("lines", "field"):
+            engine = HardwareEngine(
+                HardwareConfig(
+                    resolution=resolution,
+                    sw_threshold=sw_threshold,
+                    distance_mode=mode,
+                )
+            )
+            result = WithinDistanceJoin(ds_a, ds_b, engine).run(d)
+            if reference is None:
+                reference = result.pairs
+            assert result.pairs == reference, "modes must agree exactly"
+            per_mode[mode] = (
+                _model_ms(engine),
+                engine.stats.width_limit_fallbacks,
+                engine.stats.hw_filter_rate,
+            )
+        rows.append(
+            (
+                label,
+                factor,
+                per_mode["lines"][0],
+                per_mode["lines"][1],
+                per_mode["field"][0],
+                per_mode["field"][1],
+                round(per_mode["field"][2], 3),
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext-distance-field",
+        title="Within-distance filter: widened lines vs distance field",
+        params=_params(
+            scale, "join", pair, pair=label, resolution=resolution,
+            sw_threshold=sw_threshold,
+        ),
+        columns=(
+            "join",
+            "D/BaseD",
+            "lines_model_ms",
+            "lines_fallbacks",
+            "field_model_ms",
+            "field_fallbacks",
+            "field_filter_rate",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Section 5: 'We are currently working on a new approach that is "
+            "insensitive to query distances.'  The field variant should show "
+            "zero width-limit fallbacks at every D and a cost that does not "
+            "blow up with the distance, where the line variant degrades."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: containment selection (Table 1's second interior-filter target)
+# ---------------------------------------------------------------------------
+
+
+def ext_containment(
+    scale=DEFAULT_SCALE,
+    dataset: str = "WATER",
+    resolutions: Sequence[int] = (4, 8, 16, 32),
+    interior_level: int = 4,
+) -> ExperimentResult:
+    """Containment selection: objects strictly inside each STATES50 query.
+
+    Table 1 lists the interior filter's query types as "Intersection and
+    Containment"; this experiment runs the containment side.  Unlike
+    intersection, here a clean hardware miss *confirms* a positive
+    (boundaries disjoint + vertex inside => contained), so the hardware
+    saves software sweeps on positives and negatives alike.
+    """
+    from ..query import ContainmentSelection
+
+    scale = get_scale(scale)
+    queries = list(scale.load("STATES50", role="selection").polygons)
+    ds = scale.load(dataset, role="selection")
+
+    def run(engine) -> Tuple[List[List[int]], float, float]:
+        start = time.perf_counter()
+        sel = ContainmentSelection(ds, engine, interior_level=interior_level)
+        answers = [sel.run(q).ids for q in queries]
+        wall = time.perf_counter() - start
+        return answers, wall * _MS, _model_ms(engine)
+
+    sw = SoftwareEngine()
+    reference, sw_wall, sw_model = run(sw)
+    rows: List[Tuple] = [
+        ("software", "-", sw_wall, sw_model, "-", sw.stats.sw_segment_tests)
+    ]
+    for res in resolutions:
+        hw = HardwareEngine(HardwareConfig(resolution=res))
+        answers, wall, model = run(hw)
+        assert answers == reference, "containment engines must agree"
+        rows.append(
+            (
+                "hardware",
+                res,
+                wall,
+                model,
+                hw.stats.hw_rejects,
+                hw.stats.sw_segment_tests,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ext-containment",
+        title="Containment selection: hardware-confirmed positives",
+        params=_params(
+            scale, "selection", (dataset,), dataset=dataset,
+            queries="STATES50", interior_level=interior_level,
+        ),
+        columns=(
+            "engine",
+            "res",
+            "wall_ms",
+            "model_ms",
+            "hw_confirmed",
+            "sw_sweeps",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Table 1: the interior filter targets intersection AND "
+            "containment.  For containment the hardware's clean miss is a "
+            "positive proof, so software sweeps drop for contained objects "
+            "too - a stronger version of the intersection result."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Extension: nearest neighbors via hardware Voronoi diagrams (section 5)
+# ---------------------------------------------------------------------------
+
+
+def ext_voronoi_nn(
+    scale=DEFAULT_SCALE,
+    dataset: str = "WATER",
+    query_count: int = 40,
+    k: int = 1,
+    resolution: int = 32,
+) -> ExperimentResult:
+    """Section 5's other future-work item: NN queries with hardware Voronoi.
+
+    Compares the best-first R-tree search (software baseline) against the
+    Voronoi-filtered strategy: render each candidate's boundary once into a
+    window around the query, build the discrete Voronoi diagram (simulating
+    Hoff et al.'s cone rendering), and only refine candidates the diagram
+    cannot exclude.  Both return identical neighbors; the interesting
+    quantity is how many exact point-to-polygon distance computations each
+    strategy pays, since those scan every edge of complex polygons.
+    """
+    import random as _random
+
+    from ..geometry import Point
+    from ..query import NearestNeighborQuery
+
+    scale = get_scale(scale)
+    ds = scale.load(dataset, role="selection")
+    rng = _random.Random(2003)
+    world = ds.world
+    queries = [
+        Point(
+            rng.uniform(world.xmin, world.xmax),
+            rng.uniform(world.ymin, world.ymax),
+        )
+        for _ in range(query_count)
+    ]
+
+    software = NearestNeighborQuery(ds)
+    start = time.perf_counter()
+    sw_exact = 0
+    sw_answers = []
+    for q in queries:
+        res = software.run_software(q, k=k)
+        sw_exact += res.exact_distance_calls
+        sw_answers.append([d for d, _ in res.neighbors])
+    sw_wall = time.perf_counter() - start
+
+    hardware = NearestNeighborQuery(
+        ds, hardware=HardwareConfig(resolution=resolution)
+    )
+    start = time.perf_counter()
+    hw_exact = 0
+    hw_rendered = 0
+    for q, expected in zip(queries, sw_answers):
+        res = hardware.run_hardware(q, k=k)
+        hw_exact += res.exact_distance_calls
+        hw_rendered += res.candidates_rendered
+        got = [d for d, _ in res.neighbors]
+        assert all(
+            abs(x - y) < 1e-9 for x, y in zip(got, expected)
+        ), "strategies must agree"
+    hw_wall = time.perf_counter() - start
+
+    rows = [
+        ("software", sw_wall * _MS, sw_exact, "-"),
+        ("hardware-voronoi", hw_wall * _MS, hw_exact, hw_rendered),
+    ]
+    return ExperimentResult(
+        experiment_id="ext-voronoi-nn",
+        title="Nearest neighbors: best-first R-tree vs hardware Voronoi filter",
+        params=_params(
+            scale, "selection", (dataset,), dataset=dataset,
+            queries=query_count, k=k, resolution=resolution,
+        ),
+        columns=("strategy", "wall_ms", "exact_distance_calls", "boundaries_rendered"),
+        rows=rows,
+        paper_expectation=(
+            "Section 5: 'explore other spatial operations such as nearest "
+            "neighbor queries using hardware calculated Voronoi diagrams "
+            "[12]'.  Identical answers; the Voronoi filter trades exact "
+            "edge scans for fixed-resolution boundary renders."
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ablations (design choices the paper calls out)
+# ---------------------------------------------------------------------------
+
+
+def _candidate_polygon_pairs(
+    ds_a: SpatialDataset, ds_b: SpatialDataset, d: float = 0.0
+) -> List[Tuple]:
+    return [
+        (ds_a.polygons[i], ds_b.polygons[j])
+        for i, j in plane_sweep_mbr_join(ds_a.mbrs, ds_b.mbrs, distance=d)
+    ]
+
+
+def ablation_restricted_sweep(
+    scale=DEFAULT_SCALE, pair: Tuple[str, str] = ("LANDC", "LANDO")
+) -> ExperimentResult:
+    """Restricted search space on/off (paper section 4.1.1: 30-40% better)."""
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    candidates = _candidate_polygon_pairs(ds_a, ds_b)
+    rows: List[Tuple] = []
+    for restricted in (True, False):
+        stats = SweepStats()
+        start = time.perf_counter()
+        hits = 0
+        for a, b in candidates:
+            if boundaries_intersect(a, b, restricted, stats):
+                hits += 1
+        elapsed = time.perf_counter() - start
+        model_us = (
+            stats.edges_considered * PLATFORM_2003.cpu_scan_edge_us
+            + stats.edges_after_restriction * PLATFORM_2003.cpu_sweep_build_us
+            + stats.edges_processed * PLATFORM_2003.cpu_sweep_edge_us
+            + stats.candidate_tests * PLATFORM_2003.cpu_segment_test_us
+        )
+        rows.append(
+            (
+                "restricted" if restricted else "full",
+                elapsed * _MS,
+                model_us / 1000.0,
+                stats.edges_after_restriction,
+                stats.candidate_tests,
+                hits,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ablation-restricted-sweep",
+        title="Plane sweep with vs without restricted search space",
+        params=_params(scale, "join", pair, pair=f"{pair[0]}|><|{pair[1]}"),
+        columns=(
+            "variant",
+            "wall_ms",
+            "model_ms",
+            "edges_swept",
+            "candidate_tests",
+            "hits",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Restricting the sweep to edges intersecting both MBRs gives "
+            "about 30-40% practical improvement without changing complexity."
+        ),
+    )
+
+
+def ablation_mindist_opts(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("WATER", "PRISM"),
+    factor: float = 1.0,
+) -> ExperimentResult:
+    """minDist optimizations on/off (paper section 4.1.1: 2-6x reduction)."""
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    d = base_distance(ds_a, ds_b) * factor
+    candidates = _candidate_polygon_pairs(ds_a, ds_b, d)
+    rows: List[Tuple] = []
+    from ..geometry import MinDistStats
+
+    for frontier, extended, label in (
+        (True, True, "frontier+extended-mbr"),
+        (True, False, "frontier-only"),
+        (False, False, "no-pruning"),
+    ):
+        stats = MinDistStats()
+        start = time.perf_counter()
+        hits = 0
+        for a, b in candidates:
+            if polygons_within_distance(
+                a, b, d, use_frontier=frontier, use_extended_mbr=extended,
+                stats=stats,
+            ):
+                hits += 1
+        elapsed = time.perf_counter() - start
+        model_us = (
+            stats.edges_scanned * PLATFORM_2003.cpu_mindist_edge_us
+            + stats.pairs_tested * PLATFORM_2003.cpu_mindist_pair_us
+        )
+        rows.append(
+            (label, elapsed * _MS, model_us / 1000.0, stats.pairs_tested, hits)
+        )
+    return ExperimentResult(
+        experiment_id="ablation-mindist",
+        title="minDist pruning stages on/off (within-distance predicate)",
+        params=_params(
+            scale, "join", pair, pair=f"{pair[0]}|><|{pair[1]}", factor=factor
+        ),
+        columns=("variant", "wall_ms", "model_ms", "edge_pairs_tested", "hits"),
+        rows=rows,
+        paper_expectation=(
+            "The extended-MBR chain clipping reduces computational cost by "
+            "a factor of 2 to 6 on top of the frontier chains."
+        ),
+    )
+
+
+def ablation_minmax(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("LANDC", "LANDO"),
+    resolution: int = 16,
+) -> ExperimentResult:
+    """Hardware Minmax vs full-buffer readback (paper section 3.2)."""
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    candidates = [
+        (a, b, intersection_window(a.mbr, b.mbr))
+        for a, b in _candidate_polygon_pairs(ds_a, ds_b)
+    ]
+    candidates = [(a, b, w) for a, b, w in candidates if w is not None]
+
+    hw = HardwareSegmentTest(HardwareConfig(resolution=resolution))
+    start = time.perf_counter()
+    overlaps_minmax = sum(
+        hw.intersection_verdict(a, b, w) is HardwareVerdict.MAYBE
+        for a, b, w in candidates
+    )
+    minmax_time = time.perf_counter() - start
+    minmax_model = PLATFORM_2003.hardware_seconds(hw.pipeline.counters) * _MS
+
+    hw2 = HardwareSegmentTest(HardwareConfig(resolution=resolution))
+    start = time.perf_counter()
+    overlaps_readback = 0
+    for a, b, w in candidates:
+        image = hw2.overlap_image(a, b, w)  # full readback through the bus
+        if image.max() >= 0.75:
+            overlaps_readback += 1
+    readback_time = time.perf_counter() - start
+    readback_model = PLATFORM_2003.hardware_seconds(hw2.pipeline.counters) * _MS
+
+    assert overlaps_minmax == overlaps_readback
+    rows = [
+        ("minmax", minmax_time * _MS, minmax_model, overlaps_minmax),
+        ("readback", readback_time * _MS, readback_model, overlaps_readback),
+    ]
+    return ExperimentResult(
+        experiment_id="ablation-minmax",
+        title="Buffer search: hardware Minmax vs glReadPixels readback",
+        params=_params(
+            scale, "join", pair, pair=f"{pair[0]}|><|{pair[1]}",
+            resolution=resolution,
+        ),
+        columns=("variant", "wall_ms", "model_ms", "overlaps"),
+        rows=rows,
+        paper_expectation=(
+            "Minmax avoids moving pixels over the video/AGP/memory buses; "
+            "with thousands-to-millions of tests per query the saving is "
+            "essential (section 3.2)."
+        ),
+    )
+
+
+def ablation_overlap_methods(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("LANDC", "LANDO"),
+    resolution: int = 8,
+) -> ExperimentResult:
+    """The five overlap-search implementations of section 3, compared.
+
+    The paper picks the accumulation buffer; Hoff et al. list blending,
+    logical operations, depth buffer, and stencil buffer as alternatives.
+    All five must return identical join results; they differ in buffer
+    traffic (e.g. the accumulation variant pays three glAccum transfers per
+    test, the depth variant needs an extra buffer clear).
+    """
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    rows: List[Tuple] = []
+    reference = None
+    for method in OVERLAP_METHODS:
+        engine = HardwareEngine(
+            HardwareConfig(resolution=resolution, method=method)
+        )
+        start = time.perf_counter()
+        result = IntersectionJoin(ds_a, ds_b, engine).run()
+        elapsed = time.perf_counter() - start
+        if reference is None:
+            reference = result.pairs
+        assert result.pairs == reference, f"{method} changed the join result"
+        c = engine.gpu_counters
+        rows.append(
+            (
+                method,
+                elapsed * _MS,
+                _model_ms(engine),
+                engine.stats.hw_rejects,
+                c.accum_ops,
+                c.buffer_clears,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ablation-overlap-methods",
+        title="Overlap search via accum / blend / logic / depth / stencil",
+        params=_params(
+            scale, "join", pair, pair=f"{pair[0]}|><|{pair[1]}",
+            resolution=resolution,
+        ),
+        columns=(
+            "method",
+            "wall_ms",
+            "model_ms",
+            "hw_rejects",
+            "accum_ops",
+            "buffer_clears",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Section 3: several buffer mechanisms implement the same overlap "
+            "search; results are identical, costs differ only in buffer "
+            "traffic (the accumulation path pays glAccum transfers, which "
+            "were a slow path on consumer cards)."
+        ),
+    )
+
+
+def ablation_projection(
+    scale=DEFAULT_SCALE,
+    pair: Tuple[str, str] = ("LANDC", "LANDO"),
+    resolution: int = 8,
+) -> ExperimentResult:
+    """Focused (Fig 7a) vs naive full-scene projection window."""
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    pairs = _candidate_polygon_pairs(ds_a, ds_b)
+    rows: List[Tuple] = []
+    for variant in ("intersection-window", "union-window"):
+        hw = HardwareSegmentTest(HardwareConfig(resolution=resolution))
+        rejects = 0
+        tested = 0
+        start = time.perf_counter()
+        for a, b in pairs:
+            if variant == "intersection-window":
+                window = intersection_window(a.mbr, b.mbr)
+                if window is None:
+                    continue
+            else:
+                window = union_window(a.mbr, b.mbr)
+            tested += 1
+            if hw.intersection_verdict(a, b, window) is HardwareVerdict.DISJOINT:
+                rejects += 1
+        elapsed = time.perf_counter() - start
+        rate = rejects / tested if tested else 0.0
+        rows.append((variant, tested, rejects, round(rate, 3), elapsed * _MS))
+    return ExperimentResult(
+        experiment_id="ablation-projection",
+        title="Projection strategy: MBR-intersection window vs full-scene window",
+        params=_params(
+            scale, "join", pair, pair=f"{pair[0]}|><|{pair[1]}",
+            resolution=resolution,
+        ),
+        columns=("variant", "tested", "hw_rejects", "reject_rate", "wall_ms"),
+        rows=rows,
+        paper_expectation=(
+            "Projecting the MBR intersection maximizes window-resolution "
+            "utilization and avoids rendering unnecessary edges (section "
+            "3.2), so it filters strictly more pairs than a full-scene "
+            "window at the same resolution."
+        ),
+    )
+
+
+def ablation_hull_filter(
+    scale=DEFAULT_SCALE, pair: Tuple[str, str] = ("WATER", "PRISM")
+) -> ExperimentResult:
+    """Table 1's geometric filter (convex hulls) vs the runtime-only pipeline.
+
+    The hull filter needs pre-processing (one hull per object) - the
+    trade-off the paper's introduction credits pre-processing techniques
+    with: faster queries, slower updates, extra storage.  This ablation
+    measures what the hulls buy on top of MBR filtering, with the software
+    engine doing the refinement.
+    """
+    scale = get_scale(scale)
+    ds_a = scale.load(pair[0], role="join")
+    ds_b = scale.load(pair[1], role="join")
+    label = f"{pair[0]}|><|{pair[1]}"
+    rows: List[Tuple] = []
+    reference = None
+    for use_hulls, name in ((False, "mbr-only"), (True, "mbr+hulls")):
+        engine = SoftwareEngine()
+        start = time.perf_counter()
+        join = IntersectionJoin(ds_a, ds_b, engine, use_hull_filter=use_hulls)
+        build_s = time.perf_counter() - start
+        result = join.run()
+        if reference is None:
+            reference = result.pairs
+        assert result.pairs == reference
+        rows.append(
+            (
+                name,
+                build_s * _MS,
+                result.cost.intermediate_filter_s * _MS,
+                result.cost.geometry_s * _MS,
+                _model_ms(engine),
+                result.cost.pairs_compared,
+            )
+        )
+    return ExperimentResult(
+        experiment_id="ablation-hull-filter",
+        title="Geometric (convex hull) filter vs runtime-only filtering",
+        params=_params(scale, "join", pair, pair=label),
+        columns=(
+            "variant",
+            "preprocess_ms",
+            "filter_ms",
+            "geometry_wall_ms",
+            "geometry_model_ms",
+            "pairs_refined",
+        ),
+        rows=rows,
+        paper_expectation=(
+            "Table 1 / introduction: pre-processing filters cut refinement "
+            "work but cost pre-computation and storage, and cannot serve "
+            "intermediate results - the reasons the paper's runtime "
+            "hardware filter avoids them."
+        ),
+    )
+
+
+#: All drivers by experiment id (used by the CLI and the benchmarks).
+ALL_EXPERIMENTS = {
+    "table2": table2,
+    "fig10": fig10_selection_tiling,
+    "fig11": fig11_selection_resolution,
+    "fig12": fig12_join_resolution,
+    "fig13": fig13_sw_threshold,
+    "fig14": fig14_distance_software,
+    "fig15": fig15_distance_resolution,
+    "fig16": fig16_distance_sweep,
+    "ablation-restricted-sweep": ablation_restricted_sweep,
+    "ablation-mindist": ablation_mindist_opts,
+    "ext-distance-field": ext_distance_field,
+    "ext-containment": ext_containment,
+    "ext-voronoi-nn": ext_voronoi_nn,
+    "ablation-hull-filter": ablation_hull_filter,
+    "ablation-minmax": ablation_minmax,
+    "ablation-overlap-methods": ablation_overlap_methods,
+    "ablation-projection": ablation_projection,
+}

@@ -1,0 +1,57 @@
+"""Experiment result container and text formatting.
+
+Every experiment driver returns an :class:`ExperimentResult`: an id tied to
+the paper's table/figure, the parameters used (including dataset scale
+factors, so reported numbers are reproducible), column names, data rows, and
+the paper's qualitative expectation for comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    params: Dict[str, Any]
+    columns: Sequence[str]
+    rows: List[Tuple[Any, ...]]
+    paper_expectation: str = ""
+    notes: List[str] = field(default_factory=list)
+
+    def format(self) -> str:
+        """Render the result as an aligned text table (paper-style rows)."""
+        header = [str(c) for c in self.columns]
+        body = [[_fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"== {self.experiment_id}: {self.title} ==",
+            "params: " + ", ".join(f"{k}={v}" for k, v in self.params.items()),
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.paper_expectation:
+            lines.append(f"paper: {self.paper_expectation}")
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 0.001 or abs(value) >= 100_000:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)

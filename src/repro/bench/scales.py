@@ -1,0 +1,134 @@
+"""Workload scale presets for the experiment drivers.
+
+The paper's datasets (tens of thousands of polygons, up to ~40k vertices
+each) are beyond what a pure-Python substrate can sweep across six window
+resolutions in minutes, so every experiment runs at a documented fraction of
+the Table-2 object counts.  Vertex complexity (``v_scale``) is kept at or
+near full scale - the refinement-cost structure the paper measures lives in
+the vertex counts - while object counts shrink.
+
+Counts do NOT shrink uniformly: shrinking a layer inflates its features
+(the generators preserve areal coverage), so preserving the *relative* size
+structure between join partners requires per-dataset factors.  Two factor
+sets exist per preset:
+
+* ``join`` - used by the join experiments (figures 12-16): WATER stays
+  sparse while PRISM keeps enough cells that water features span zone-sized
+  windows, as at full scale;
+* ``selection`` - used by the selection experiments (figures 10-11): the
+  data layers keep more, smaller objects so the STATES50 query polygons
+  dwarf them, as at full scale.
+
+All factors are recorded in each experiment's parameters and in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from ..datasets import SpatialDataset, load
+
+Factors = Mapping[str, float]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Per-dataset object-count factors and a vertex-count factor."""
+
+    name: str
+    v_scale: float
+    join_factors: Factors
+    selection_factors: Factors
+
+    def n_scale(self, dataset: str, role: str = "join") -> float:
+        """The object-count factor for ``dataset`` in the given role."""
+        factors = (
+            self.selection_factors if role == "selection" else self.join_factors
+        )
+        if dataset not in factors:
+            raise KeyError(
+                f"dataset {dataset!r} has no {role} factor in scale {self.name!r}"
+            )
+        return factors[dataset]
+
+    def load(self, dataset: str, role: str = "join", **kwargs) -> SpatialDataset:
+        """Load a catalog dataset at this scale for the given role."""
+        return load(
+            dataset,
+            n_scale=self.n_scale(dataset, role),
+            v_scale=self.v_scale,
+            **kwargs,
+        )
+
+
+SCALES: Dict[str, Scale] = {
+    "tiny": Scale(
+        name="tiny",
+        v_scale=0.5,
+        join_factors={
+            "LANDC": 0.002,
+            "LANDO": 0.002,
+            "PRISM": 0.02,
+            "WATER": 0.0015,
+            "STATES50": 1.0,
+        },
+        selection_factors={
+            "LANDC": 0.003,
+            "LANDO": 0.003,
+            "PRISM": 0.015,
+            "WATER": 0.004,
+            "STATES50": 1.0,
+        },
+    ),
+    "small": Scale(
+        name="small",
+        v_scale=1.0,
+        join_factors={
+            "LANDC": 0.004,
+            "LANDO": 0.004,
+            "PRISM": 0.06,
+            "WATER": 0.003,
+            "STATES50": 1.0,
+        },
+        selection_factors={
+            "LANDC": 0.006,
+            "LANDO": 0.006,
+            "PRISM": 0.04,
+            "WATER": 0.01,
+            "STATES50": 1.0,
+        },
+    ),
+    "medium": Scale(
+        name="medium",
+        v_scale=1.0,
+        join_factors={
+            "LANDC": 0.008,
+            "LANDO": 0.008,
+            "PRISM": 0.1,
+            "WATER": 0.006,
+            "STATES50": 1.0,
+        },
+        selection_factors={
+            "LANDC": 0.012,
+            "LANDO": 0.012,
+            "PRISM": 0.08,
+            "WATER": 0.02,
+            "STATES50": 1.0,
+        },
+    ),
+}
+
+DEFAULT_SCALE = "small"
+
+
+def get_scale(name_or_scale) -> Scale:
+    """Resolve a preset name (or pass a Scale through)."""
+    if isinstance(name_or_scale, Scale):
+        return name_or_scale
+    if name_or_scale in SCALES:
+        return SCALES[name_or_scale]
+    raise KeyError(
+        f"unknown scale {name_or_scale!r}; choose from {sorted(SCALES)}"
+    )

@@ -1,0 +1,101 @@
+"""Proper-containment tests: is polygon ``b`` strictly inside polygon ``a``?
+
+Table 1 lists the interior filter's query types as "Intersection and
+Containment"; this module supplies the containment predicate and its
+hardware acceleration.  The predicate is *proper* containment - ``b`` lies
+in the open interior of ``a``, boundaries disjoint - which is exactly what
+the interior filter's tiles certify and what map-overlay containment
+queries ("parcels entirely within the flood zone") ask for.
+
+For a simple container polygon the predicate decomposes exactly:
+
+    contains_properly(a, b)  <=>  b.v0 inside a  AND  boundaries disjoint
+
+(b's boundary cannot leave ``a``'s interior without crossing ``a``'s
+boundary, and with ``a`` simple, ``a``'s boundary cannot wander into ``b``'s
+region without crossing back out through ``b``'s boundary.)
+
+The hardware upgrade is special here: for intersection tests a clean miss
+only *rules out*; for containment a clean miss **confirms** - PIP already
+established ``b.v0`` inside, and a DISJOINT verdict proves the boundaries
+never meet, so the pair is contained with *no software sweep at all*.  The
+sweep only runs for MAYBE verdicts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..geometry.point_in_polygon import PointLocation, locate_point
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import SweepStats, boundaries_intersect
+from .hardware_test import HardwareSegmentTest, HardwareVerdict
+from .projection import intersection_window
+from .stats import RefinementStats
+
+
+def software_contains_properly(
+    a: Polygon,
+    b: Polygon,
+    stats: Optional[RefinementStats] = None,
+    sweep_stats: Optional[SweepStats] = None,
+) -> bool:
+    """Software test: ``b`` strictly inside ``a`` (simple container ``a``)."""
+    if stats is not None:
+        stats.pairs_tested += 1
+    if not a.mbr.contains_rect(b.mbr):
+        return False
+    if stats is not None:
+        stats.pip_edges += a.num_vertices
+    if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+        return False
+    if stats is not None:
+        stats.sw_segment_tests += 1
+    result = not boundaries_intersect(a, b, True, sweep_stats)
+    if result and stats is not None:
+        stats.positives += 1
+    return result
+
+
+def hybrid_contains_properly(
+    a: Polygon,
+    b: Polygon,
+    hw: HardwareSegmentTest,
+    stats: Optional[RefinementStats] = None,
+    sweep_stats: Optional[SweepStats] = None,
+) -> bool:
+    """Hardware-assisted containment: a DISJOINT verdict *confirms*.
+
+    Exactly equivalent to :func:`software_contains_properly`; the work
+    distribution differs - and unlike the intersection test, here the
+    hardware resolves *positives* without software help.
+    """
+    if stats is not None:
+        stats.pairs_tested += 1
+    if not a.mbr.contains_rect(b.mbr):
+        return False
+    if stats is not None:
+        stats.pip_edges += a.num_vertices
+    if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+        return False
+
+    if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+        window = intersection_window(a.mbr, b.mbr)
+        assert window is not None  # a.mbr contains b.mbr
+        if stats is not None:
+            stats.hw_tests += 1
+        if hw.intersection_verdict(a, b, window) is HardwareVerdict.DISJOINT:
+            # Boundaries provably never meet + v0 inside: contained.
+            if stats is not None:
+                stats.hw_rejects += 1
+                stats.positives += 1
+            return True
+    elif stats is not None:
+        stats.threshold_bypasses += 1
+
+    if stats is not None:
+        stats.sw_segment_tests += 1
+    result = not boundaries_intersect(a, b, True, sweep_stats)
+    if result and stats is not None:
+        stats.positives += 1
+    return result

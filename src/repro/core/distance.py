@@ -1,0 +1,117 @@
+"""Hardware-assisted within-distance test (the paper's section 3.1 extension).
+
+The within-distance predicate ``dist(P, Q) <= D`` generalizes intersection
+(``D = 0``).  The hybrid test mirrors Algorithm 3.1:
+
+1. *MBR prefilter* - ``minDist(MBR_P, MBR_Q) > D`` proves the negative;
+2. *software point-in-polygon* - containment/overlap means distance 0;
+3. *hardware proximity test* - both boundaries rendered with line width and
+   point caps widened to ``D`` (Equation 1) into the window of Figure 7b; no
+   overlapping pixel proves the boundaries are farther apart than ``D``.
+   When Equation (1) demands a pixel width beyond the device's anti-aliased
+   line-width limit, the hardware test is skipped (section 4.4's fallback);
+4. *software distance test* - the frontier-chain minDist with early exit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..geometry.distance import either_contains
+from ..geometry.min_dist import MinDistStats, min_boundary_distance
+from ..geometry.polygon import Polygon
+from .hardware_test import HardwareSegmentTest, HardwareVerdict
+from .projection import distance_window
+from .stats import RefinementStats
+
+
+def software_within_distance(
+    a: Polygon,
+    b: Polygon,
+    d: float,
+    stats: Optional[RefinementStats] = None,
+    mindist_stats: Optional[MinDistStats] = None,
+) -> bool:
+    """The pure-software reference predicate (paper section 4.1.1).
+
+    MBR prefilter, containment check, then frontier-chain minDist with the
+    early-exit and extended-MBR optimizations.
+    """
+    if d < 0.0:
+        raise ValueError("distance must be non-negative")
+    if stats is not None:
+        stats.pairs_tested += 1
+    if not a.mbr.within_distance(b.mbr, d):
+        return False
+    if stats is not None and a.mbr.intersects(b.mbr):
+        if b.mbr.contains_point(a.vertices[0]):
+            stats.pip_edges += b.num_vertices
+        if a.mbr.contains_point(b.vertices[0]):
+            stats.pip_edges += a.num_vertices
+    if a.mbr.intersects(b.mbr) and either_contains(a, b):
+        if stats is not None:
+            stats.pip_hits += 1
+            stats.positives += 1
+        return True
+    if stats is not None:
+        stats.sw_distance_tests += 1
+    result = (
+        min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats) <= d
+    )
+    if result and stats is not None:
+        stats.positives += 1
+    return result
+
+
+def hybrid_within_distance(
+    a: Polygon,
+    b: Polygon,
+    d: float,
+    hw: HardwareSegmentTest,
+    stats: Optional[RefinementStats] = None,
+    mindist_stats: Optional[MinDistStats] = None,
+) -> bool:
+    """The hardware-assisted within-distance test.
+
+    Same answers as :func:`software_within_distance`; the hardware filter
+    only removes provably-distant pairs before minDist runs.
+    """
+    if d < 0.0:
+        raise ValueError("distance must be non-negative")
+    if stats is not None:
+        stats.pairs_tested += 1
+    if not a.mbr.within_distance(b.mbr, d):
+        return False
+    if stats is not None and a.mbr.intersects(b.mbr):
+        if b.mbr.contains_point(a.vertices[0]):
+            stats.pip_edges += b.num_vertices
+        if a.mbr.contains_point(b.vertices[0]):
+            stats.pip_edges += a.num_vertices
+    if a.mbr.intersects(b.mbr) and either_contains(a, b):
+        if stats is not None:
+            stats.pip_hits += 1
+            stats.positives += 1
+        return True
+
+    if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+        window = distance_window(a.mbr, b.mbr, d)
+        if stats is not None:
+            stats.hw_tests += 1
+        verdict = hw.distance_verdict(a, b, window, d)
+        if verdict is HardwareVerdict.DISJOINT:
+            if stats is not None:
+                stats.hw_rejects += 1
+            return False
+        if verdict is HardwareVerdict.UNSUPPORTED and stats is not None:
+            stats.width_limit_fallbacks += 1
+    elif stats is not None:
+        stats.threshold_bypasses += 1
+
+    if stats is not None:
+        stats.sw_distance_tests += 1
+    result = (
+        min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats) <= d
+    )
+    if result and stats is not None:
+        stats.positives += 1
+    return result

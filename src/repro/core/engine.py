@@ -1,0 +1,134 @@
+"""Refinement engines: pluggable geometry-comparison back ends.
+
+The query pipelines (:mod:`repro.query`) take an engine object and call it
+for every candidate pair that survives filtering.  Two engines implement the
+paper's comparison:
+
+* :class:`SoftwareEngine` - the reference algorithms (restricted plane
+  sweep; frontier-chain minDist);
+* :class:`HardwareEngine` - Algorithm 3.1 and its distance extension,
+  backed by one simulated graphics pipeline per engine instance.
+
+Both engines accumulate :class:`~repro.core.stats.RefinementStats` so
+experiments can report work distribution alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+from ..geometry.min_dist import MinDistStats
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import SweepStats
+from .config import HardwareConfig
+from .containment import hybrid_contains_properly, software_contains_properly
+from .distance import hybrid_within_distance, software_within_distance
+from .hardware_test import HardwareSegmentTest
+from .intersection import hybrid_polygons_intersect, software_polygons_intersect
+from .stats import RefinementStats
+
+
+class RefinementEngine(Protocol):
+    """What the query pipelines require of a geometry-comparison back end."""
+
+    name: str
+    stats: RefinementStats
+
+    def polygons_intersect(self, a: Polygon, b: Polygon) -> bool:
+        """Exact intersection predicate."""
+        ...
+
+    def within_distance(self, a: Polygon, b: Polygon, d: float) -> bool:
+        """Exact within-distance predicate."""
+        ...
+
+    def contains_properly(self, a: Polygon, b: Polygon) -> bool:
+        """Exact proper-containment predicate (simple container ``a``)."""
+        ...
+
+    def reset_stats(self) -> None:
+        ...
+
+
+class SoftwareEngine:
+    """Software-only refinement (the paper's baseline algorithms)."""
+
+    def __init__(self, restrict_search_space: bool = True) -> None:
+        self.name = "software"
+        self.restrict_search_space = restrict_search_space
+        self.stats = RefinementStats()
+        self.sweep_stats = SweepStats()
+        self.mindist_stats = MinDistStats()
+
+    def polygons_intersect(self, a: Polygon, b: Polygon) -> bool:
+        return software_polygons_intersect(
+            a,
+            b,
+            stats=self.stats,
+            sweep_stats=self.sweep_stats,
+            restrict_search_space=self.restrict_search_space,
+        )
+
+    def within_distance(self, a: Polygon, b: Polygon, d: float) -> bool:
+        return software_within_distance(
+            a, b, d, stats=self.stats, mindist_stats=self.mindist_stats
+        )
+
+    def contains_properly(self, a: Polygon, b: Polygon) -> bool:
+        return software_contains_properly(
+            a, b, stats=self.stats, sweep_stats=self.sweep_stats
+        )
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.sweep_stats = SweepStats()
+        self.mindist_stats = MinDistStats()
+
+
+class HardwareEngine:
+    """Hardware-assisted refinement (Algorithm 3.1 + distance extension)."""
+
+    def __init__(self, config: Optional[HardwareConfig] = None) -> None:
+        self.config = config if config is not None else HardwareConfig()
+        self.name = f"hardware[{self.config.resolution}x{self.config.resolution}]"
+        self.hw = HardwareSegmentTest(self.config)
+        self.stats = RefinementStats()
+        self.sweep_stats = SweepStats()
+        self.mindist_stats = MinDistStats()
+
+    @property
+    def gpu_counters(self):
+        """Primitive-operation counters of the underlying pipeline."""
+        return self.hw.pipeline.counters
+
+    def polygons_intersect(self, a: Polygon, b: Polygon) -> bool:
+        return hybrid_polygons_intersect(
+            a, b, self.hw, stats=self.stats, sweep_stats=self.sweep_stats
+        )
+
+    def within_distance(self, a: Polygon, b: Polygon, d: float) -> bool:
+        return hybrid_within_distance(
+            a, b, d, self.hw, stats=self.stats, mindist_stats=self.mindist_stats
+        )
+
+    def contains_properly(self, a: Polygon, b: Polygon) -> bool:
+        return hybrid_contains_properly(
+            a, b, self.hw, stats=self.stats, sweep_stats=self.sweep_stats
+        )
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+        self.sweep_stats = SweepStats()
+        self.mindist_stats = MinDistStats()
+        self.gpu_counters.reset()
+
+
+def make_engine(
+    kind: str, config: Optional[HardwareConfig] = None
+) -> RefinementEngine:
+    """Factory: ``"software"`` or ``"hardware"`` (with optional config)."""
+    if kind == "software":
+        return SoftwareEngine()
+    if kind == "hardware":
+        return HardwareEngine(config)
+    raise ValueError(f"unknown engine kind {kind!r}; expected software|hardware")

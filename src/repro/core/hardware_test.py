@@ -1,0 +1,276 @@
+"""The hardware segment intersection / proximity test.
+
+This module implements step 2 of Algorithm 3.1 - the rendering-based filter
+at the heart of the paper - against the simulated pipeline:
+
+    2.1  enable anti-aliasing
+    2.2  clear the color buffer and the accumulation buffer
+    2.3  render the edges of the first polygon with color 0.5
+    2.4  copy the color buffer into the accumulation buffer
+    2.5  render the edges of the second polygon with color 0.5
+    2.6  copy the color buffer into the accumulation buffer
+    2.7  load the accumulation buffer back into the color buffer
+    2.8  report whether color 1.0 appears anywhere
+
+(The color buffer is cleared between the two renders so the accumulation
+holds ``render(A) + render(B)``; within one render, overlapping edges of the
+same polygon write 0.5 idempotently because blending is disabled.)
+
+Correctness rests on the conservative anti-aliased line footprint: every
+pixel whose cell the (widened) segment touches is colored, so two
+intersecting boundaries always share at least one pixel, and a negative
+answer is proof of disjointness.  The same machinery widened to the query
+distance ``D`` (line width and point caps from Equation 1) yields the
+distance filter; when the required width exceeds the device's anti-aliased
+line-width limit, the test reports "unsupported" and the caller falls back
+to software (section 4.4).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Optional
+
+from ..geometry.polygon import Polygon
+from ..geometry.rect import Rect
+from ..gpu.pipeline import GraphicsPipeline
+from ..gpu.state import DEFAULT_AA_LINE_WIDTH, EDGE_COLOR
+from .config import OVERLAP_THRESHOLD, HardwareConfig
+
+
+class HardwareVerdict(Enum):
+    """Outcome of a hardware test."""
+
+    #: No pixel was touched by both boundaries: the polygons' boundaries are
+    #: provably disjoint (or provably farther apart than D).
+    DISJOINT = "disjoint"
+    #: Overlapping pixels exist: the boundaries *may* intersect (or may be
+    #: within D); the software test must decide.
+    MAYBE = "maybe"
+    #: The test could not run within device limits (line width too large);
+    #: the caller must use the software path.
+    UNSUPPORTED = "unsupported"
+
+
+class HardwareSegmentTest:
+    """A reusable hardware tester bound to one rendering resolution.
+
+    One :class:`~repro.gpu.pipeline.GraphicsPipeline` (one frame buffer) is
+    allocated per instance and reused across all pairwise tests of a query,
+    mirroring how the paper's implementation keeps a single OpenGL context.
+    """
+
+    def __init__(self, config: Optional[HardwareConfig] = None) -> None:
+        self.config = config if config is not None else HardwareConfig()
+        self.pipeline = GraphicsPipeline(
+            self.config.resolution, limits=self.config.limits
+        )
+        st = self.pipeline.state
+        st.antialias = True  # step 2.1
+        st.blend = False
+        st.color = EDGE_COLOR
+
+    # -- public API -------------------------------------------------------
+
+    def intersection_verdict(
+        self, a: Polygon, b: Polygon, window: Rect
+    ) -> HardwareVerdict:
+        """Hardware segment intersection test over ``window`` (Figure 7a).
+
+        Never returns UNSUPPORTED: the default sqrt(2) line width is always
+        within device limits.
+        """
+        return self._render_and_search(
+            a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
+        )
+
+    def distance_verdict(
+        self, a: Polygon, b: Polygon, window: Rect, d: float
+    ) -> HardwareVerdict:
+        """Hardware within-distance test at distance ``d``.
+
+        In the default ``"lines"`` mode, each polygon's edges are rendered
+        with a total width of ``d`` in data units (``d/2`` per side,
+        Equation 1) plus matching end-point caps, so overlapping pixels
+        exist whenever the boundaries come within ``d``; the verdict is
+        UNSUPPORTED when the pixel width exceeds the device limit (section
+        4.4).  In ``"field"`` mode the distance-insensitive test is used
+        instead and UNSUPPORTED never occurs.
+        """
+        if d < 0.0:
+            raise ValueError("distance must be non-negative")
+        if self.config.distance_mode == "field" and d > 0.0:
+            return self.distance_field_verdict(a, b, window, d)
+        if d == 0.0:
+            return self.intersection_verdict(a, b, window)
+        self.pipeline.set_data_window(window)
+        width_px = float(self.pipeline.line_width_for_distance(d))
+        limits = self.config.limits
+        if not (
+            limits.supports_line_width(width_px)
+            and limits.supports_point_size(width_px)
+        ):
+            return HardwareVerdict.UNSUPPORTED
+        return self._render_and_search(
+            a, b, window, line_width_px=width_px, cap_points=True
+        )
+
+    def distance_field_verdict(
+        self, a: Polygon, b: Polygon, window: Rect, d: float
+    ) -> HardwareVerdict:
+        """Distance-insensitive proximity test (section 5's future work).
+
+        Renders both boundaries once at the default sqrt(2) line width,
+        computes the distance field of A's coverage, and compares the
+        minimum field value over B's coverage against ``d`` converted to
+        pixels (plus the cell-center slack).  Never UNSUPPORTED: no widened
+        lines are drawn, so the device line-width limit is irrelevant, and
+        the rendering cost does not grow with ``d``.
+        """
+        if d < 0.0:
+            raise ValueError("distance must be non-negative")
+        from ..gpu.distance_field import CENTER_DISTANCE_SLACK
+
+        pl = self.pipeline
+        pl.set_data_window(window)
+        st = pl.state
+        st.line_width = DEFAULT_AA_LINE_WIDTH
+        st.point_size = DEFAULT_AA_LINE_WIDTH
+        st.cap_points = False
+        st.reset_fragment_ops()
+        mask_a = pl.render_coverage_mask(a.edges_array)
+        if not mask_a.any():
+            return HardwareVerdict.DISJOINT
+        mask_b = pl.render_coverage_mask(b.edges_array)
+        if not mask_b.any():
+            return HardwareVerdict.DISJOINT
+        field = pl.compute_distance_field(mask_a)
+        min_px = float(field[mask_b].min())
+        if min_px > pl.distance_to_pixels(d) + CENTER_DISTANCE_SLACK:
+            return HardwareVerdict.DISJOINT
+        return HardwareVerdict.MAYBE
+
+    def required_line_width(self, window: Rect, d: float) -> int:
+        """Pixel width Equation (1) assigns to distance ``d`` under ``window``."""
+        self.pipeline.set_data_window(window)
+        return self.pipeline.line_width_for_distance(d)
+
+    # -- render-and-search, in the five variants of section 3 ------------------
+
+    def _render_and_search(
+        self,
+        a: Polygon,
+        b: Polygon,
+        window: Rect,
+        line_width_px: float,
+        cap_points: bool,
+    ) -> HardwareVerdict:
+        pl = self.pipeline
+        pl.set_data_window(window)
+        st = pl.state
+        st.line_width = line_width_px
+        st.point_size = line_width_px
+        st.cap_points = cap_points
+        st.reset_fragment_ops()
+        try:
+            overlap = self._SEARCHES[self.config.method](self, a, b)
+        finally:
+            st.reset_fragment_ops()
+            st.color = EDGE_COLOR
+        return HardwareVerdict.MAYBE if overlap else HardwareVerdict.DISJOINT
+
+    def _search_accum(self, a: Polygon, b: Polygon) -> bool:
+        """Algorithm 3.1 steps 2.2-2.8: two renders added in the
+        accumulation buffer; overlap pixels reach 1.0."""
+        pl = self.pipeline
+        pl.state.color = EDGE_COLOR
+        pl.clear_color()  # step 2.2
+        pl.clear_accum()
+        pl.draw_edges_array(a.edges_array)  # step 2.3
+        pl.accum_add()  # step 2.4
+        pl.clear_color()
+        pl.draw_edges_array(b.edges_array)  # step 2.5
+        pl.accum_add()  # step 2.6
+        pl.accum_return()  # step 2.7
+        _, max_value = pl.minmax("color")  # step 2.8 via hardware Minmax
+        return max_value >= OVERLAP_THRESHOLD
+
+    def _search_blend(self, a: Polygon, b: Polygon) -> bool:
+        """Additive blending: both renders add 0.5 into the color buffer
+        directly; overlap pixels reach 1.0 with no accumulation transfers."""
+        pl = self.pipeline
+        st = pl.state
+        st.color = EDGE_COLOR
+        st.blend = True
+        pl.clear_color()
+        pl.draw_edges_array(a.edges_array)
+        pl.draw_edges_array(b.edges_array)
+        _, max_value = pl.minmax("color")
+        return max_value >= OVERLAP_THRESHOLD
+
+    def _search_logic(self, a: Polygon, b: Polygon) -> bool:
+        """Logical operations: polygon A ORs bit 1, polygon B ORs bit 2;
+        overlap pixels hold 0b11 = 3."""
+        pl = self.pipeline
+        st = pl.state
+        st.logic_op = "or"
+        pl.clear_color()
+        st.color = 1.0
+        pl.draw_edges_array(a.edges_array)
+        st.color = 2.0
+        pl.draw_edges_array(b.edges_array)
+        _, max_value = pl.minmax("color")
+        return max_value >= 3.0
+
+    def _search_depth(self, a: Polygon, b: Polygon) -> bool:
+        """Depth buffer (RECODE-style): pass 1 marks A's pixels at a known
+        depth with color writes off; pass 2 renders B with GL_EQUAL so only
+        pixels A touched survive to write color."""
+        pl = self.pipeline
+        st = pl.state
+        pl.clear_color()
+        pl.clear_depth(1.0)
+        st.color_write = False
+        st.depth_write = True
+        st.depth_value = 0.5
+        pl.draw_edges_array(a.edges_array)
+        st.color_write = True
+        st.depth_write = False
+        st.depth_test = "equal"
+        st.color = 1.0
+        pl.draw_edges_array(b.edges_array)
+        _, max_value = pl.minmax("color")
+        return max_value >= 1.0
+
+    def _search_stencil(self, a: Polygon, b: Polygon) -> bool:
+        """Stencil buffer: both renders increment the stencil of covered
+        pixels (color writes off); overlap pixels count 2."""
+        pl = self.pipeline
+        st = pl.state
+        pl.clear_stencil(0)
+        st.color_write = False
+        st.stencil_op = "incr"
+        pl.draw_edges_array(a.edges_array)
+        pl.draw_edges_array(b.edges_array)
+        _, max_value = pl.minmax("stencil")
+        return max_value >= 2.0
+
+    _SEARCHES = {
+        "accum": _search_accum,
+        "blend": _search_blend,
+        "logic": _search_logic,
+        "depth": _search_depth,
+        "stencil": _search_stencil,
+    }
+
+    def overlap_image(self, a: Polygon, b: Polygon, window: Rect):
+        """Debug/visualization helper: the accumulated image as an array.
+
+        Runs the intersection rendering and returns the full readback (the
+        expensive path the Minmax function exists to avoid; also used by the
+        Minmax-vs-readback ablation).
+        """
+        self._render_and_search(
+            a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
+        )
+        return self.pipeline.read_pixels("color")

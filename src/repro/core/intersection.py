@@ -1,0 +1,126 @@
+"""Algorithm 3.1: the hardware-assisted polygon intersection test.
+
+The hybrid test keeps the cheap, cache-friendly parts in software and
+inserts the hardware rendering test as a refinement-stage filter:
+
+1. *software point-in-polygon* (``O(n + m)``) - answers positively for
+   overlapping interiors and for containment, the case the hardware cannot
+   see (contained boundaries share no pixels);
+2. *hardware segment intersection test* - renders both boundaries into the
+   window of Figure 7a and searches for overlapping pixels; a clean miss
+   **proves** the boundaries are disjoint, and combined with step 1's
+   negative result proves the polygons are disjoint;
+3. *software segment intersection test* - the plane sweep with restricted
+   search space, run only for pairs the hardware could not rule out.
+
+Pairs with ``n + m <= sw_threshold`` skip step 2 (section 4.3): for simple
+geometry the fixed per-test hardware overhead exceeds the sweep cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..geometry.point_in_polygon import PointLocation, locate_point
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import SweepStats, boundaries_intersect
+from .hardware_test import HardwareSegmentTest, HardwareVerdict
+from .projection import intersection_window
+from .stats import RefinementStats
+
+
+def _point_in_polygon_step(
+    a: Polygon, b: Polygon, stats: Optional[RefinementStats] = None
+) -> bool:
+    """Algorithm 3.1 step 1, applied in both directions.
+
+    Testing one vertex of each polygon against the other catches both
+    containment directions; boundary contact counts as intersection.  A
+    vertex can only be inside the other polygon if it is inside its MBR, so
+    each linear boundary scan is guarded by a free point-in-rect test -
+    important when one polygon is a multi-thousand-vertex giant.
+    """
+    va = a.vertices[0]
+    if b.mbr.contains_point(va):
+        if stats is not None:
+            stats.pip_edges += b.num_vertices
+        if locate_point(va, b.vertices) is not PointLocation.OUTSIDE:
+            return True
+    vb = b.vertices[0]
+    if not a.mbr.contains_point(vb):
+        return False
+    if stats is not None:
+        stats.pip_edges += a.num_vertices
+    return locate_point(vb, a.vertices) is not PointLocation.OUTSIDE
+
+
+def software_polygons_intersect(
+    a: Polygon,
+    b: Polygon,
+    stats: Optional[RefinementStats] = None,
+    sweep_stats: Optional[SweepStats] = None,
+    restrict_search_space: bool = True,
+) -> bool:
+    """The pure-software reference test (PIP + restricted plane sweep)."""
+    if stats is not None:
+        stats.pairs_tested += 1
+    if not a.mbr.intersects(b.mbr):
+        return False
+    if _point_in_polygon_step(a, b, stats):
+        if stats is not None:
+            stats.pip_hits += 1
+            stats.positives += 1
+        return True
+    if stats is not None:
+        stats.sw_segment_tests += 1
+    result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+    if result and stats is not None:
+        stats.positives += 1
+    return result
+
+
+def hybrid_polygons_intersect(
+    a: Polygon,
+    b: Polygon,
+    hw: HardwareSegmentTest,
+    stats: Optional[RefinementStats] = None,
+    sweep_stats: Optional[SweepStats] = None,
+    restrict_search_space: bool = True,
+) -> bool:
+    """Algorithm 3.1: PIP, hardware filter, then software sweep.
+
+    Produces exactly the same answers as
+    :func:`software_polygons_intersect`; only the work distribution differs.
+    """
+    if stats is not None:
+        stats.pairs_tested += 1
+    window = intersection_window(a.mbr, b.mbr)
+    if window is None:
+        return False
+
+    # Step 1: software point-in-polygon.
+    if _point_in_polygon_step(a, b, stats):
+        if stats is not None:
+            stats.pip_hits += 1
+            stats.positives += 1
+        return True
+
+    # Step 2: hardware segment intersection test (unless below threshold).
+    if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+        if stats is not None:
+            stats.hw_tests += 1
+        verdict = hw.intersection_verdict(a, b, window)
+        if verdict is HardwareVerdict.DISJOINT:
+            if stats is not None:
+                stats.hw_rejects += 1
+            return False
+    elif stats is not None:
+        stats.threshold_bypasses += 1
+
+    # Step 3: software segment intersection test.
+    if stats is not None:
+        stats.sw_segment_tests += 1
+    result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+    if result and stats is not None:
+        stats.positives += 1
+    return result

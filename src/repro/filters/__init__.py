@@ -1,0 +1,38 @@
+"""Intermediate (runtime) filters: interior filter and 0/1-Object filters.
+
+These are the paper's section 4.1.1 runtime filters - they need no
+pre-processing or index changes, only MBRs and (for the 1-Object filter)
+one retrieved geometry, so they combine freely with the hardware-assisted
+refinement step.
+"""
+
+from .interior import InteriorFilter
+from .mer import EnclosedRectangleFilter, MerStats, largest_true_rectangle
+from .progressive import ConvexHullFilter, HullFilterStats
+from .raster_approx import (
+    RasterApproximation,
+    RasterFilterStats,
+    TileVerdict,
+    classify_pair,
+)
+from .object_filters import (
+    one_object_upper_bound,
+    pair_distance_upper_bound,
+    zero_object_upper_bound,
+)
+
+__all__ = [
+    "ConvexHullFilter",
+    "EnclosedRectangleFilter",
+    "HullFilterStats",
+    "InteriorFilter",
+    "MerStats",
+    "RasterApproximation",
+    "RasterFilterStats",
+    "TileVerdict",
+    "classify_pair",
+    "largest_true_rectangle",
+    "one_object_upper_bound",
+    "pair_distance_upper_bound",
+    "zero_object_upper_bound",
+]

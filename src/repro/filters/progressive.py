@@ -1,0 +1,102 @@
+"""Progressive approximation filters (Brinkhoff et al. [5], paper Table 1).
+
+The paper's related-work table lists the *geometric filter*: approximate
+each complex polygon with a simple convex geometry (convex hull, n-corner,
+maximum enclosing rectangle) computed in a pre-processing step, and test
+the approximations before touching the real geometries.
+
+Because every polygon is contained in its convex hull:
+
+* hulls disjoint                 => polygons disjoint (intersection filter);
+* ``dist(hull_a, hull_b) > D``   => ``dist(a, b) > D`` (distance filter).
+
+Both are *negative* filters - the complement of the interior filter's
+positive answers - and, per the paper's Table 1 discussion, they require
+pre-computation (here: one convex hull per object, built when the filter is
+constructed), which is exactly the update-cost trade-off the hardware
+technique avoids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..geometry.convex_hull import convex_hull
+from ..geometry.min_dist import min_boundary_distance
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import polygons_intersect
+
+
+@dataclass
+class HullFilterStats:
+    """Work/outcome counters for one batch of hull tests."""
+
+    tests: int = 0
+    rejected: int = 0
+    #: Total hull vertices compared (the filter's own workload measure).
+    hull_vertices: int = 0
+
+
+class ConvexHullFilter:
+    """Pre-computed convex hulls for a collection of polygons.
+
+    The filter answers "could these two polygons possibly intersect / be
+    within D?" from the hulls alone.  A False is proof; a True decides
+    nothing (the refinement step still runs).
+    """
+
+    def __init__(self, polygons: Sequence[Polygon]) -> None:
+        self.hulls: List[Polygon] = [self._hull_of(p) for p in polygons]
+        self.stats = HullFilterStats()
+
+    @staticmethod
+    def _hull_of(polygon: Polygon) -> Polygon:
+        pts = convex_hull(list(polygon.vertices))
+        if len(pts) < 3:
+            # Degenerate (collinear) polygon: fall back to the ring itself,
+            # which is trivially convex enough for the containment argument.
+            return polygon
+        return Polygon(pts)
+
+    def hull(self, index: int) -> Polygon:
+        return self.hulls[index]
+
+    # -- pairwise filters -------------------------------------------------
+
+    def may_intersect(
+        self, index: int, other: "ConvexHullFilter", other_index: int
+    ) -> bool:
+        """False only when the hulls (hence the polygons) are disjoint."""
+        ha = self.hulls[index]
+        hb = other.hulls[other_index]
+        self.stats.tests += 1
+        self.stats.hull_vertices += ha.num_vertices + hb.num_vertices
+        if polygons_intersect(ha, hb):
+            return True
+        self.stats.rejected += 1
+        return False
+
+    def may_be_within(
+        self,
+        index: int,
+        other: "ConvexHullFilter",
+        other_index: int,
+        d: float,
+    ) -> bool:
+        """False only when even the hulls are farther apart than ``d``."""
+        if d < 0.0:
+            raise ValueError("distance must be non-negative")
+        ha = self.hulls[index]
+        hb = other.hulls[other_index]
+        self.stats.tests += 1
+        self.stats.hull_vertices += ha.num_vertices + hb.num_vertices
+        if not ha.mbr.within_distance(hb.mbr, d):
+            self.stats.rejected += 1
+            return False
+        if polygons_intersect(ha, hb):
+            return True
+        if min_boundary_distance(ha, hb, early_exit_at=d) <= d:
+            return True
+        self.stats.rejected += 1
+        return False

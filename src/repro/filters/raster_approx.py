@@ -1,0 +1,172 @@
+"""The rasterization filter: three-state tile approximations (Table 1, [6]).
+
+Zimbrao and Souza's filter, the third pre-processed approximation family the
+paper's related work lists: each polygon's MBR is tiled, and every tile is
+classified
+
+* ``EMPTY``   - no part of the polygon's region touches the tile;
+* ``FULL``    - the (closed) tile lies entirely in the polygon's interior;
+* ``PARTIAL`` - the boundary passes through the tile.
+
+Because the region is covered by FULL + PARTIAL tiles, and FULL tiles are
+certified interior, a pair of approximations can decide in *both*
+directions:
+
+* no non-EMPTY tile of A overlaps a non-EMPTY tile of B  =>  disjoint;
+* some FULL tile of A overlaps a FULL tile of B          =>  intersecting;
+* otherwise                                              =>  unknown
+  (the refinement step decides).
+
+Construction reuses the interior filter's exact boundary supercover +
+scanline classification, so both certificates are sound by the same
+arguments (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..geometry.polygon import Polygon
+from ..geometry.rect import Rect
+from ..gpu.raster_line import rasterize_line_aa_conservative
+from ..gpu.raster_polygon import rasterize_polygon_evenodd
+from .interior import _BOUNDARY_FOOTPRINT
+
+
+class TileVerdict(Enum):
+    """Outcome of a pairwise tile-approximation comparison."""
+
+    DISJOINT = "disjoint"
+    INTERSECTING = "intersecting"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class RasterFilterStats:
+    """Outcome counters for a batch of pair classifications."""
+
+    tests: int = 0
+    disjoint: int = 0
+    intersecting: int = 0
+
+
+class RasterApproximation:
+    """Three-state tile classification of one polygon."""
+
+    #: Tile codes in the grid array.
+    EMPTY, PARTIAL, FULL = 0, 1, 2
+
+    def __init__(self, polygon: Polygon, level: int = 4) -> None:
+        if not 0 <= level <= 12:
+            raise ValueError(f"level must be in [0, 12], got {level}")
+        self.polygon = polygon
+        self.level = level
+        self.mbr = polygon.mbr
+        n = 2**level
+        self.tiles_per_side = n
+        self._tile_w = self.mbr.width / n if self.mbr.width else 0.0
+        self._tile_h = self.mbr.height / n if self.mbr.height else 0.0
+        self.grid = self._classify()
+
+    def _classify(self) -> np.ndarray:
+        n = self.tiles_per_side
+        if self._tile_w == 0.0 or self._tile_h == 0.0:
+            # Degenerate MBR: everything the polygon has is boundary.
+            return np.full((n, n), self.PARTIAL, dtype=np.int8)
+        coords = [
+            (
+                (p.x - self.mbr.xmin) / self._tile_w,
+                (p.y - self.mbr.ymin) / self._tile_h,
+            )
+            for p in self.polygon.vertices
+        ]
+        inside = np.zeros((n, n), dtype=np.float32)
+        rasterize_polygon_evenodd(inside, coords, color=1.0)
+        touched = np.zeros((n, n), dtype=np.float32)
+        prev = coords[-1]
+        for cur in coords:
+            rasterize_line_aa_conservative(
+                touched,
+                prev[0],
+                prev[1],
+                cur[0],
+                cur[1],
+                width_px=_BOUNDARY_FOOTPRINT,
+                color=1.0,
+            )
+            prev = cur
+        grid = np.full((n, n), self.EMPTY, dtype=np.int8)
+        grid[(inside > 0.0)] = self.FULL
+        grid[(touched > 0.0)] = self.PARTIAL
+        return grid
+
+    def tile_range(self, window: Rect) -> Optional[Tuple[int, int, int, int]]:
+        """Indices ``(j0, i0, j1, i1)`` of tiles intersecting ``window``."""
+        if self._tile_w == 0.0 or self._tile_h == 0.0:
+            return (0, 0, self.tiles_per_side - 1, self.tiles_per_side - 1)
+        if not self.mbr.intersects(window):
+            return None
+        n = self.tiles_per_side
+        i0 = min(max(int((window.xmin - self.mbr.xmin) / self._tile_w), 0), n - 1)
+        i1 = min(max(int((window.xmax - self.mbr.xmin) / self._tile_w), 0), n - 1)
+        j0 = min(max(int((window.ymin - self.mbr.ymin) / self._tile_h), 0), n - 1)
+        j1 = min(max(int((window.ymax - self.mbr.ymin) / self._tile_h), 0), n - 1)
+        return (j0, i0, j1, i1)
+
+    def tile_rect(self, j: int, i: int) -> Rect:
+        """Data-space rectangle of tile ``(row j, column i)``."""
+        return Rect(
+            self.mbr.xmin + i * self._tile_w,
+            self.mbr.ymin + j * self._tile_h,
+            self.mbr.xmin + (i + 1) * self._tile_w,
+            self.mbr.ymin + (j + 1) * self._tile_h,
+        )
+
+
+def classify_pair(
+    a: RasterApproximation,
+    b: RasterApproximation,
+    stats: Optional[RasterFilterStats] = None,
+) -> TileVerdict:
+    """Compare two approximations (both certificates are proofs)."""
+    if stats is not None:
+        stats.tests += 1
+    window = a.mbr.intersection(b.mbr)
+    if window is None:
+        if stats is not None:
+            stats.disjoint += 1
+        return TileVerdict.DISJOINT
+
+    range_a = a.tile_range(window)
+    assert range_a is not None
+    j0, i0, j1, i1 = range_a
+    any_overlap = False
+    for j in range(j0, j1 + 1):
+        for i in range(i0, i1 + 1):
+            code_a = a.grid[j, i]
+            if code_a == RasterApproximation.EMPTY:
+                continue
+            rect_a = a.tile_rect(j, i)
+            range_b = b.tile_range(rect_a)
+            if range_b is None:
+                continue
+            bj0, bi0, bj1, bi1 = range_b
+            block = b.grid[bj0 : bj1 + 1, bi0 : bi1 + 1]
+            if not (block != RasterApproximation.EMPTY).any():
+                continue
+            any_overlap = True
+            if code_a == RasterApproximation.FULL and (
+                block == RasterApproximation.FULL
+            ).any():
+                if stats is not None:
+                    stats.intersecting += 1
+                return TileVerdict.INTERSECTING
+    if not any_overlap:
+        if stats is not None:
+            stats.disjoint += 1
+        return TileVerdict.DISJOINT
+    return TileVerdict.UNKNOWN

@@ -1,0 +1,253 @@
+"""Self-balancing binary search tree with a pluggable comparator.
+
+The plane-sweep algorithms (paper section 3.1: "has to maintain a random
+access structure (usually a balanced search tree such as AVL and Red-Black
+tree)") use this AVL tree as the sweep-status structure.  The comparator is
+supplied by the caller and may consult external state (the current sweep
+position); the tree only requires that the relative order of stored items
+stays consistent between the operations that touch them, which the
+Shamos-Hoey detection sweep guarantees by stopping at the first intersection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class AVLNode(Generic[T]):
+    """Internal tree node; exposed so callers can walk neighbors in O(1) amortized."""
+
+    __slots__ = ("item", "left", "right", "parent", "height")
+
+    def __init__(self, item: T) -> None:
+        self.item = item
+        self.left: Optional["AVLNode[T]"] = None
+        self.right: Optional["AVLNode[T]"] = None
+        self.parent: Optional["AVLNode[T]"] = None
+        self.height = 1
+
+
+class AVLTree(Generic[T]):
+    """AVL tree ordered by ``compare(a, b) -> negative | 0 | positive``.
+
+    Duplicate-comparing items are allowed; they are stored deterministically
+    (ties go right) and removed by identity, so the sweep can hold segments
+    that momentarily compare equal (shared endpoints).
+    """
+
+    def __init__(self, compare: Callable[[T, T], float]) -> None:
+        self._compare = compare
+        self._root: Optional[AVLNode[T]] = None
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    # -- queries ------------------------------------------------------------
+
+    def items_in_order(self) -> List[T]:
+        """All items, smallest to largest (for tests and diagnostics)."""
+        return [n.item for n in self._iter_nodes()]
+
+    def _iter_nodes(self) -> Iterator[AVLNode[T]]:
+        stack: List[AVLNode[T]] = []
+        node = self._root
+        while stack or node:
+            while node:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            yield node
+            node = node.right
+
+    @staticmethod
+    def predecessor(node: AVLNode[T]) -> Optional[AVLNode[T]]:
+        """The in-order neighbor immediately below ``node``."""
+        if node.left:
+            cur = node.left
+            while cur.right:
+                cur = cur.right
+            return cur
+        cur = node
+        while cur.parent and cur.parent.left is cur:
+            cur = cur.parent
+        return cur.parent
+
+    @staticmethod
+    def successor(node: AVLNode[T]) -> Optional[AVLNode[T]]:
+        """The in-order neighbor immediately above ``node``."""
+        if node.right:
+            cur = node.right
+            while cur.left:
+                cur = cur.left
+            return cur
+        cur = node
+        while cur.parent and cur.parent.right is cur:
+            cur = cur.parent
+        return cur.parent
+
+    # -- modification ----------------------------------------------------------
+
+    def insert(self, item: T) -> AVLNode[T]:
+        """Insert ``item`` and return its node handle."""
+        new = AVLNode(item)
+        if self._root is None:
+            self._root = new
+            self._size = 1
+            return new
+        cur = self._root
+        while True:
+            if self._compare(item, cur.item) < 0:
+                if cur.left is None:
+                    cur.left = new
+                    break
+                cur = cur.left
+            else:
+                if cur.right is None:
+                    cur.right = new
+                    break
+                cur = cur.right
+        new.parent = cur
+        self._size += 1
+        self._rebalance_up(cur)
+        return new
+
+    def remove_node(self, node: AVLNode[T]) -> None:
+        """Remove a node previously returned by :meth:`insert`.
+
+        Removal is by node identity (not by comparator search), so it stays
+        correct even if the comparator's view of the item has drifted since
+        insertion — exactly the situation during a sweep, where the ordering
+        key is the y coordinate at an advancing x.  Other node handles remain
+        valid: deletion splices nodes structurally and never moves payloads
+        between nodes.
+        """
+        if node.left and node.right:
+            # Splice the in-order successor (no left child) into node's
+            # position.  Payloads never move, so handles stay valid.
+            succ = node.right
+            while succ.left:
+                succ = succ.left
+            if succ.parent is node:
+                rebalance_from = succ
+            else:
+                parent = succ.parent
+                assert parent is not None
+                parent.left = succ.right
+                if succ.right:
+                    succ.right.parent = parent
+                succ.right = node.right
+                node.right.parent = succ
+                rebalance_from = parent
+            succ.left = node.left
+            node.left.parent = succ
+            self._replace_in_parent(node, succ)
+            succ.height = node.height
+            node.parent = node.left = node.right = None
+            self._size -= 1
+            self._rebalance_up(rebalance_from)
+            return
+        child = node.left if node.left else node.right
+        parent = node.parent
+        if child:
+            child.parent = parent
+        if parent is None:
+            self._root = child
+        elif parent.left is node:
+            parent.left = child
+        else:
+            parent.right = child
+        node.parent = node.left = node.right = None
+        self._size -= 1
+        if parent:
+            self._rebalance_up(parent)
+
+    # -- AVL mechanics ------------------------------------------------------------
+
+    @staticmethod
+    def _height(node: Optional[AVLNode[T]]) -> int:
+        return node.height if node else 0
+
+    def _update(self, node: AVLNode[T]) -> None:
+        node.height = 1 + max(self._height(node.left), self._height(node.right))
+
+    def _balance_factor(self, node: AVLNode[T]) -> int:
+        return self._height(node.left) - self._height(node.right)
+
+    def _rotate_right(self, node: AVLNode[T]) -> AVLNode[T]:
+        pivot = node.left
+        assert pivot is not None
+        node.left = pivot.right
+        if pivot.right:
+            pivot.right.parent = node
+        self._replace_in_parent(node, pivot)
+        pivot.right = node
+        node.parent = pivot
+        self._update(node)
+        self._update(pivot)
+        return pivot
+
+    def _rotate_left(self, node: AVLNode[T]) -> AVLNode[T]:
+        pivot = node.right
+        assert pivot is not None
+        node.right = pivot.left
+        if pivot.left:
+            pivot.left.parent = node
+        self._replace_in_parent(node, pivot)
+        pivot.left = node
+        node.parent = pivot
+        self._update(node)
+        self._update(pivot)
+        return pivot
+
+    def _replace_in_parent(self, node: AVLNode[T], new: AVLNode[T]) -> None:
+        parent = node.parent
+        new.parent = parent
+        if parent is None:
+            self._root = new
+        elif parent.left is node:
+            parent.left = new
+        else:
+            parent.right = new
+
+    def _rebalance_up(self, node: Optional[AVLNode[T]]) -> None:
+        while node:
+            self._update(node)
+            balance = self._balance_factor(node)
+            if balance > 1:
+                assert node.left is not None
+                if self._balance_factor(node.left) < 0:
+                    self._rotate_left(node.left)
+                node = self._rotate_right(node)
+            elif balance < -1:
+                assert node.right is not None
+                if self._balance_factor(node.right) > 0:
+                    self._rotate_right(node.right)
+                node = self._rotate_left(node)
+            node = node.parent
+
+    # -- validation (used by the test suite) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if AVL height/parent invariants are violated."""
+
+        def walk(node: Optional[AVLNode[T]]) -> int:
+            if node is None:
+                return 0
+            lh = walk(node.left)
+            rh = walk(node.right)
+            assert node.height == 1 + max(lh, rh), "stale height"
+            assert abs(lh - rh) <= 1, "AVL balance violated"
+            if node.left:
+                assert node.left.parent is node, "broken parent link"
+            if node.right:
+                assert node.right.parent is node, "broken parent link"
+            return node.height
+
+        walk(self._root)
+        assert self._size == sum(1 for _ in self._iter_nodes()), "size drift"

@@ -1,0 +1,101 @@
+"""Clipping utilities.
+
+Two flavors are needed by the library:
+
+* Sutherland-Hodgman polygon-against-rectangle clipping, used by the interior
+  filter tests and by examples that window a dataset.
+* Cohen-Sutherland style segment-against-rectangle clipping, used when
+  projecting polygon edges onto the rendering window (the simulated hardware
+  clips geometry outside the viewport, paper Figure 2's "clipping" stage).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .point import Point
+from .rect import Rect
+
+
+def clip_polygon_to_rect(vertices: Sequence[Point], rect: Rect) -> List[Point]:
+    """Sutherland-Hodgman clip of a polygon ring against a rectangle.
+
+    Returns the clipped ring (possibly empty).  Works for concave subject
+    polygons; the output may contain coincident edges where the subject
+    leaves and re-enters the rectangle, which is acceptable for area and
+    coverage computations.
+    """
+
+    def clip_edge(
+        ring: List[Point],
+        inside: "callable[[Point], bool]",
+        intersect: "callable[[Point, Point], Point]",
+    ) -> List[Point]:
+        if not ring:
+            return []
+        out: List[Point] = []
+        prev = ring[-1]
+        prev_in = inside(prev)
+        for cur in ring:
+            cur_in = inside(cur)
+            if cur_in:
+                if not prev_in:
+                    out.append(intersect(prev, cur))
+                out.append(cur)
+            elif prev_in:
+                out.append(intersect(prev, cur))
+            prev, prev_in = cur, cur_in
+        return out
+
+    def x_cross(a: Point, b: Point, x: float) -> Point:
+        t = (x - a.x) / (b.x - a.x)
+        return Point(x, a.y + t * (b.y - a.y))
+
+    def y_cross(a: Point, b: Point, y: float) -> Point:
+        t = (y - a.y) / (b.y - a.y)
+        return Point(a.x + t * (b.x - a.x), y)
+
+    ring = list(vertices)
+    ring = clip_edge(ring, lambda p: p.x >= rect.xmin, lambda a, b: x_cross(a, b, rect.xmin))
+    ring = clip_edge(ring, lambda p: p.x <= rect.xmax, lambda a, b: x_cross(a, b, rect.xmax))
+    ring = clip_edge(ring, lambda p: p.y >= rect.ymin, lambda a, b: y_cross(a, b, rect.ymin))
+    ring = clip_edge(ring, lambda p: p.y <= rect.ymax, lambda a, b: y_cross(a, b, rect.ymax))
+    return ring
+
+
+def clip_segment_to_rect(
+    a: Point, b: Point, rect: Rect
+) -> Optional[Tuple[Point, Point]]:
+    """Liang-Barsky clip of segment ``ab`` to a rectangle, or None if outside.
+
+    The returned segment may be degenerate (a point) when ``ab`` only touches
+    the rectangle boundary.
+    """
+    dx = b.x - a.x
+    dy = b.y - a.y
+    t0, t1 = 0.0, 1.0
+    for p, q in (
+        (-dx, a.x - rect.xmin),
+        (dx, rect.xmax - a.x),
+        (-dy, a.y - rect.ymin),
+        (dy, rect.ymax - a.y),
+    ):
+        if p == 0.0:
+            if q < 0.0:
+                return None
+            continue
+        r = q / p
+        if p < 0.0:
+            if r > t1:
+                return None
+            if r > t0:
+                t0 = r
+        else:
+            if r < t0:
+                return None
+            if r < t1:
+                t1 = r
+    return (
+        Point(a.x + t0 * dx, a.y + t0 * dy),
+        Point(a.x + t1 * dx, a.y + t1 * dy),
+    )

@@ -1,0 +1,104 @@
+"""Ray-crossing point-in-polygon test.
+
+This is the ``O(n)`` test the paper keeps in software (Algorithm 3.1 step 1):
+it is cache friendly (sequential vertex access) and cheap, and it handles the
+containment case the hardware segment test cannot see (one polygon entirely
+inside the other leaves no overlapping boundary pixels).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Sequence
+
+from .point import Point
+from .predicates import on_segment
+
+
+class PointLocation(Enum):
+    """Topological location of a point relative to a polygon."""
+
+    INSIDE = "inside"
+    OUTSIDE = "outside"
+    BOUNDARY = "boundary"
+
+
+def locate_point(p: Point, vertices: Sequence[Point]) -> PointLocation:
+    """Classify ``p`` against the polygon given by ``vertices``.
+
+    Uses the even-odd (crossing-number) rule, which is the conventional
+    interpretation for possibly non-simple GIS polygons: a point is inside
+    when an upward ray from it properly crosses the boundary an odd number of
+    times.  Points exactly on the boundary are reported as BOUNDARY, which
+    the intersection test treats as intersecting (safe for spatial
+    predicates).
+    """
+    n = len(vertices)
+    if n < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    inside = False
+    px, py = p.x, p.y
+    ax, ay = vertices[-1].x, vertices[-1].y
+    for v in vertices:
+        bx, by = v.x, v.y
+        # Boundary check first: exact on-edge points would otherwise depend
+        # on floating-point crossing arithmetic.
+        if (
+            min(ax, bx) <= px <= max(ax, bx)
+            and min(ay, by) <= py <= max(ay, by)
+            and (bx - ax) * (py - ay) == (by - ay) * (px - ax)
+        ):
+            return PointLocation.BOUNDARY
+        # Half-open rule [ay, by): each non-horizontal edge is counted once,
+        # and vertices never double-count.
+        if (ay > py) != (by > py):
+            # x coordinate of the edge at height py, compared to px without
+            # division (sign-corrected by the edge direction).
+            t = (px - ax) * (by - ay) - (bx - ax) * (py - ay)
+            if (t < 0) != (by < ay):
+                inside = not inside
+        ax, ay = bx, by
+    return PointLocation.INSIDE if inside else PointLocation.OUTSIDE
+
+
+def point_in_polygon(p: Point, vertices: Sequence[Point]) -> bool:
+    """True when ``p`` is inside or on the boundary of the polygon."""
+    return locate_point(p, vertices) is not PointLocation.OUTSIDE
+
+
+def point_strictly_in_polygon(p: Point, vertices: Sequence[Point]) -> bool:
+    """True only when ``p`` is in the open interior of the polygon."""
+    return locate_point(p, vertices) is PointLocation.INSIDE
+
+
+def any_vertex_inside(
+    candidates: Sequence[Point], vertices: Sequence[Point]
+) -> bool:
+    """True when any of ``candidates`` lies inside/on the polygon.
+
+    Algorithm 3.1 step 1 tests one vertex; testing against boundary-degenerate
+    configurations is the caller's concern.  This helper exists for the
+    containment direction of the intersection test where any single vertex
+    witness suffices.
+    """
+    return any(
+        locate_point(c, vertices) is not PointLocation.OUTSIDE for c in candidates
+    )
+
+
+def _debug_location_by_sampling(p: Point, vertices: Sequence[Point]) -> PointLocation:
+    """Reference implementation used in tests: explicit on-segment scan plus
+    a second independent crossing formulation."""
+    n = len(vertices)
+    for i in range(n):
+        if on_segment(p, vertices[i], vertices[(i + 1) % n]):
+            return PointLocation.BOUNDARY
+    crossings = 0
+    for i in range(n):
+        a = vertices[i]
+        b = vertices[(i + 1) % n]
+        if (a.y <= p.y < b.y) or (b.y <= p.y < a.y):
+            x_at = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+            if x_at > p.x:
+                crossings += 1
+    return PointLocation.INSIDE if crossings % 2 == 1 else PointLocation.OUTSIDE

@@ -1,0 +1,220 @@
+"""Simple (and possibly non-simple) polygons.
+
+The paper's datasets contain concave and occasionally non-simple polygons
+(footnote 1): self-intersecting boundaries and repeated vertices occur in the
+real land-cover data.  ``Polygon`` therefore makes no simplicity assumption;
+predicates that require simplicity say so explicitly, and
+:meth:`Polygon.is_simple` is available to check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from .point import Point
+from .point_in_polygon import PointLocation, locate_point
+from .rect import Rect
+from .segment import Segment
+
+
+class Polygon:
+    """A closed polygon defined by its boundary vertices.
+
+    The boundary is implicitly closed: an edge connects the last vertex back
+    to the first.  Vertices are stored as given (no deduplication or
+    reorientation) to stay faithful to how GIS sources deliver geometry.
+    """
+
+    __slots__ = ("_vertices", "_mbr", "_signed_area", "_coords_array", "_edges_array")
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        if len(vertices) < 3:
+            raise ValueError(
+                f"polygon needs at least 3 vertices, got {len(vertices)}"
+            )
+        object.__setattr__(self, "_vertices", tuple(vertices))
+        object.__setattr__(self, "_mbr", None)
+        object.__setattr__(self, "_signed_area", None)
+        object.__setattr__(self, "_coords_array", None)
+        object.__setattr__(self, "_edges_array", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Polygon is immutable")
+
+    @staticmethod
+    def from_coords(coords: Sequence[Tuple[float, float]]) -> "Polygon":
+        """Build a polygon from ``[(x, y), ...]`` coordinate pairs."""
+        return Polygon([Point(x, y) for x, y in coords])
+
+    # -- basic accessors -----------------------------------------------------
+
+    @property
+    def vertices(self) -> Tuple[Point, ...]:
+        return self._vertices
+
+    @property
+    def num_vertices(self) -> int:
+        """Vertex count: the complexity measure used throughout the paper."""
+        return len(self._vertices)
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon(<{self.num_vertices} vertices>, mbr={self.mbr!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    @property
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle (cached)."""
+        if self._mbr is None:
+            object.__setattr__(self, "_mbr", Rect.from_points(self._vertices))
+        return self._mbr
+
+    def edges(self) -> Iterator[Tuple[Point, Point]]:
+        """Iterate boundary edges as ``(start, end)`` pairs, closing the ring."""
+        verts = self._vertices
+        prev = verts[-1]
+        for v in verts:
+            yield (prev, v)
+            prev = v
+
+    def edge_segments(self) -> List[Segment]:
+        """Boundary edges as :class:`Segment` objects."""
+        return [Segment(a, b) for a, b in self.edges()]
+
+    def coords(self) -> List[Tuple[float, float]]:
+        """Vertices as plain ``(x, y)`` tuples (for rasterization and IO)."""
+        return [(p.x, p.y) for p in self._vertices]
+
+    @property
+    def coords_array(self) -> np.ndarray:
+        """Vertices as a read-only ``(n, 2)`` float64 array (cached).
+
+        The hardware path transforms and rasterizes whole boundaries at
+        once; caching the array amortizes the conversion over the many
+        pairwise tests each polygon participates in.
+        """
+        if self._coords_array is None:
+            arr = np.array(
+                [(p.x, p.y) for p in self._vertices], dtype=np.float64
+            )
+            arr.setflags(write=False)
+            object.__setattr__(self, "_coords_array", arr)
+        return self._coords_array
+
+    @property
+    def edges_array(self) -> np.ndarray:
+        """Boundary edges as a read-only ``(n, 4)`` array of
+        ``[x0, y0, x1, y1]`` rows, closing the ring (cached).
+
+        Edge ``i`` runs from vertex ``i-1`` to vertex ``i``, matching
+        :meth:`edges`.  The hardware path transforms this array with two
+        vectorized operations per draw call instead of rebuilding it.
+        """
+        if self._edges_array is None:
+            coords = self.coords_array
+            arr = np.hstack([np.roll(coords, 1, axis=0), coords])
+            arr.setflags(write=False)
+            object.__setattr__(self, "_edges_array", arr)
+        return self._edges_array
+
+    # -- measures --------------------------------------------------------------
+
+    @property
+    def signed_area(self) -> float:
+        """Shoelace signed area; positive for counter-clockwise rings."""
+        if self._signed_area is None:
+            verts = self._vertices
+            total = 0.0
+            ax, ay = verts[-1].x, verts[-1].y
+            for v in verts:
+                total += ax * v.y - v.x * ay
+                ax, ay = v.x, v.y
+            object.__setattr__(self, "_signed_area", total * 0.5)
+        return self._signed_area
+
+    @property
+    def area(self) -> float:
+        return abs(self.signed_area)
+
+    @property
+    def is_ccw(self) -> bool:
+        return self.signed_area > 0.0
+
+    @property
+    def perimeter(self) -> float:
+        return sum(a.distance_to(b) for a, b in self.edges())
+
+    @property
+    def centroid(self) -> Point:
+        """Area centroid; falls back to the vertex mean for zero-area rings."""
+        a6 = self.signed_area * 6.0
+        if a6 == 0.0:
+            n = self.num_vertices
+            return Point(
+                sum(p.x for p in self._vertices) / n,
+                sum(p.y for p in self._vertices) / n,
+            )
+        cx = cy = 0.0
+        verts = self._vertices
+        px, py = verts[-1].x, verts[-1].y
+        for v in verts:
+            w = px * v.y - v.x * py
+            cx += (px + v.x) * w
+            cy += (py + v.y) * w
+            px, py = v.x, v.y
+        return Point(cx / a6, cy / a6)
+
+    # -- topology ---------------------------------------------------------------
+
+    def locate_point(self, p: Point) -> PointLocation:
+        """Classify ``p`` as inside / outside / on the boundary."""
+        return locate_point(p, self._vertices)
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` is inside or on the boundary (even-odd rule)."""
+        return locate_point(p, self._vertices) is not PointLocation.OUTSIDE
+
+    def is_simple(self) -> bool:
+        """True when no two non-adjacent edges intersect and adjacent edges
+        meet only at their shared endpoint.
+
+        Delegates to the Shamos-Hoey sweep; imported lazily to avoid a module
+        cycle (the sweep operates on polygons' edges).
+        """
+        from .shamos_hoey import polygon_is_simple
+
+        return polygon_is_simple(self)
+
+    # -- derived polygons ----------------------------------------------------------
+
+    def reversed(self) -> "Polygon":
+        """Same ring with opposite orientation."""
+        return Polygon(tuple(reversed(self._vertices)))
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        return Polygon([Point(p.x + dx, p.y + dy) for p in self._vertices])
+
+    def scaled(self, factor: float, origin: Point | None = None) -> "Polygon":
+        o = origin if origin is not None else self.mbr.center
+        return Polygon(
+            [
+                Point(o.x + (p.x - o.x) * factor, o.y + (p.y - o.y) * factor)
+                for p in self._vertices
+            ]
+        )
+
+
+def rect_to_polygon(rect: Rect) -> Polygon:
+    """The rectangle as a counter-clockwise polygon."""
+    return Polygon(rect.corners())

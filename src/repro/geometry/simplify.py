@@ -1,0 +1,90 @@
+"""Polyline / polygon simplification (Douglas-Peucker).
+
+A standard GIS utility for the complexity studies this library supports:
+the paper's whole premise is that refinement cost scales with vertex
+counts, and simplification is how practitioners trade geometric fidelity
+for speed.  The examples and ablations use it to generate reduced-detail
+variants of the synthetic layers.
+
+The implementation is the classic recursive Douglas-Peucker: keep the two
+chain endpoints, find the interior vertex farthest from the chord, and
+recurse on both halves while that distance exceeds the tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .point import Point
+from .polygon import Polygon
+from .segment import point_segment_distance
+
+
+def simplify_chain(
+    points: Sequence[Point], tolerance: float
+) -> List[Point]:
+    """Douglas-Peucker simplification of an open polyline.
+
+    The first and last points are always kept; every dropped point lies
+    within ``tolerance`` of the simplified chain's corresponding chord.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    n = len(points)
+    if n <= 2:
+        return list(points)
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack = [(0, n - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        a, b = points[lo], points[hi]
+        worst = -1.0
+        worst_idx = -1
+        for i in range(lo + 1, hi):
+            d = point_segment_distance(points[i], a, b)
+            if d > worst:
+                worst = d
+                worst_idx = i
+        if worst > tolerance:
+            keep[worst_idx] = True
+            stack.append((lo, worst_idx))
+            stack.append((worst_idx, hi))
+    return [p for p, k in zip(points, keep) if k]
+
+
+def simplify_polygon(polygon: Polygon, tolerance: float) -> Polygon:
+    """Simplify a polygon ring with Douglas-Peucker.
+
+    The ring is split at its two mutually-farthest-in-index anchor vertices
+    (first vertex and the vertex farthest from it), each half simplified as
+    an open chain, and the halves rejoined - the conventional way to apply
+    an open-chain algorithm to a closed ring without collapsing it.  The
+    result always has at least 3 vertices.
+    """
+    if tolerance < 0.0:
+        raise ValueError("tolerance must be non-negative")
+    verts = list(polygon.vertices)
+    n = len(verts)
+    if n <= 3 or tolerance == 0.0:
+        return polygon
+
+    anchor = 0
+    far = max(range(1, n), key=lambda i: verts[0].squared_distance_to(verts[i]))
+    first_half = verts[anchor : far + 1]
+    second_half = verts[far:] + [verts[0]]
+    simplified = (
+        simplify_chain(first_half, tolerance)[:-1]
+        + simplify_chain(second_half, tolerance)[:-1]
+    )
+    if len(simplified) < 3:
+        # Tolerance swallowed the ring: keep the anchor triangle-ish shape.
+        mid = (anchor + far) // 2 if far - anchor >= 2 else (far + 1) % n
+        fallback = sorted({anchor, mid, far})
+        simplified = [verts[i] for i in fallback]
+        if len(simplified) < 3:
+            return polygon
+    return Polygon(simplified)

@@ -1,0 +1,199 @@
+"""Red-blue segment intersection detection for polygon boundaries.
+
+This is the "Software Segment Intersection Test" of the paper (section 3.1),
+with the *restricted search space* optimization of section 4.1.1: only edges
+that intersect both MBRs participate, which the paper measured at a 30-40%
+improvement without changing the asymptotic complexity.
+
+The sweep is an x-ordered sweep-and-prune: edges of both polygons are merged
+in order of their lower x coordinate; an active set per color holds edges
+whose x range spans the sweep line; each arriving edge is tested exactly
+against the active edges of the *other* color whose y ranges overlap.  Unlike
+a neighbor-only Shamos-Hoey status walk, this formulation is insensitive to
+the degeneracies real GIS polygons exhibit (shared endpoints, collinear
+edges, self-intersections of non-simple rings) because every candidate pair
+gets the exact closed-segment test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .point import Point
+from .polygon import Polygon
+from .predicates import segments_intersect
+from .rect import Rect
+
+# Flattened edge record: (xmin, xmax, ymin, ymax, ax, ay, bx, by)
+_Edge = Tuple[float, float, float, float, float, float, float, float]
+
+
+@dataclass
+class SweepStats:
+    """Work counters for one or many red-blue sweeps (ablation support)."""
+
+    edges_considered: int = 0
+    edges_after_restriction: int = 0
+    #: Edges whose events the sweep actually consumed before terminating.
+    #: For negative pairs this equals ``edges_after_restriction`` (the sweep
+    #: must exhaust every event to prove disjointness); for positive pairs
+    #: it stops at the first crossing - the cost asymmetry that makes
+    #: negative candidates the expensive case in software.
+    edges_processed: int = 0
+    candidate_tests: int = 0
+    intersections_found: int = 0
+
+    def merge(self, other: "SweepStats") -> None:
+        self.edges_considered += other.edges_considered
+        self.edges_after_restriction += other.edges_after_restriction
+        self.edges_processed += other.edges_processed
+        self.candidate_tests += other.candidate_tests
+        self.intersections_found += other.intersections_found
+
+
+def _flatten_edges(
+    polygon: Polygon, window: Optional[Rect]
+) -> List[_Edge]:
+    """Edge records of ``polygon``, optionally restricted to ``window``.
+
+    The restriction keeps any edge whose own MBR intersects the window; every
+    boundary crossing lies in the window (the intersection of the two object
+    MBRs), so restriction never loses a crossing.
+    """
+    out: List[_Edge] = []
+    if window is not None:
+        wxmin, wymin, wxmax, wymax = window.as_tuple()
+    verts = polygon.vertices
+    ax, ay = verts[-1].x, verts[-1].y
+    for v in verts:
+        bx, by = v.x, v.y
+        xmin, xmax = (ax, bx) if ax <= bx else (bx, ax)
+        ymin, ymax = (ay, by) if ay <= by else (by, ay)
+        if window is None or (
+            xmin <= wxmax and wxmin <= xmax and ymin <= wymax and wymin <= ymax
+        ):
+            out.append((xmin, xmax, ymin, ymax, ax, ay, bx, by))
+        ax, ay = bx, by
+    return out
+
+
+def _edges_cross(e: _Edge, f: _Edge) -> bool:
+    return segments_intersect(
+        Point(e[4], e[5]),
+        Point(e[6], e[7]),
+        Point(f[4], f[5]),
+        Point(f[6], f[7]),
+    )
+
+
+def red_blue_intersection(
+    red: Sequence[_Edge],
+    blue: Sequence[_Edge],
+    stats: Optional[SweepStats] = None,
+) -> bool:
+    """True when any red edge intersects any blue edge (closed segments).
+
+    Both inputs must be edge records from :func:`_flatten_edges`; they are
+    sorted here, so callers may pass them in any order.
+    """
+    if not red or not blue:
+        return False
+    red_sorted = sorted(red)
+    blue_sorted = sorted(blue)
+
+    # Active sets: lists pruned lazily as the sweep advances.  Each arriving
+    # edge is checked against the other color's active list.
+    active: List[List[_Edge]] = [[], []]
+    events: List[Tuple[_Edge, int]] = [(e, 0) for e in red_sorted]
+    events += [(e, 1) for e in blue_sorted]
+    events.sort(key=lambda item: item[0][0])
+
+    tests = 0
+    processed = 0
+    try:
+        for edge, color in events:
+            processed += 1
+            x = edge[0]
+            others = active[1 - color]
+            if others:
+                # Prune expired edges in place while scanning for candidates.
+                kept: List[_Edge] = []
+                ymin, ymax = edge[2], edge[3]
+                for other in others:
+                    if other[1] < x:
+                        continue
+                    kept.append(other)
+                    if other[2] <= ymax and ymin <= other[3]:
+                        tests += 1
+                        if _edges_cross(edge, other):
+                            if stats is not None:
+                                stats.intersections_found += 1
+                            return True
+                active[1 - color] = kept
+            active[color].append(edge)
+        return False
+    finally:
+        if stats is not None:
+            stats.candidate_tests += tests
+            stats.edges_processed += processed
+
+
+def boundaries_intersect(
+    a: Polygon,
+    b: Polygon,
+    restrict_search_space: bool = True,
+    stats: Optional[SweepStats] = None,
+) -> bool:
+    """True when the boundaries of ``a`` and ``b`` share at least one point.
+
+    With ``restrict_search_space`` (the default, as in the paper), only edges
+    intersecting the common MBR window are swept.  Containment (one polygon
+    strictly inside the other) is invisible to this test by design; the
+    point-in-polygon step of the full intersection test covers it.
+    """
+    if stats is not None:
+        stats.edges_considered += a.num_vertices + b.num_vertices
+    window: Optional[Rect] = None
+    if restrict_search_space:
+        window = a.mbr.intersection(b.mbr)
+        if window is None:
+            return False
+    red = _flatten_edges(a, window)
+    blue = _flatten_edges(b, window)
+    if stats is not None:
+        stats.edges_after_restriction += len(red) + len(blue)
+    return red_blue_intersection(red, blue, stats)
+
+
+def polygons_intersect(
+    a: Polygon,
+    b: Polygon,
+    restrict_search_space: bool = True,
+    stats: Optional[SweepStats] = None,
+) -> bool:
+    """Full software intersection test: point-in-polygon plus boundary sweep.
+
+    This is the reference software algorithm of the paper's section 3.1:
+    first the linear point-in-polygon step (which also resolves containment),
+    then the plane sweep over (restricted) boundary edges.
+    """
+    if not a.mbr.intersects(b.mbr):
+        return False
+    from .point_in_polygon import PointLocation, locate_point
+
+    if locate_point(a.vertices[0], b.vertices) is not PointLocation.OUTSIDE:
+        return True
+    if locate_point(b.vertices[0], a.vertices) is not PointLocation.OUTSIDE:
+        return True
+    return boundaries_intersect(a, b, restrict_search_space, stats)
+
+
+def boundaries_intersect_brute_force(a: Polygon, b: Polygon) -> bool:
+    """Quadratic reference test used by the property-based test suite."""
+    edges_b = list(b.edges())
+    for pa, pb in a.edges():
+        for qa, qb in edges_b:
+            if segments_intersect(pa, pb, qa, qb):
+                return True
+    return False

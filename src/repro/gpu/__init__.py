@@ -1,0 +1,57 @@
+"""Simulated graphics hardware.
+
+A software stand-in for the OpenGL pipeline + consumer graphics card the
+paper runs on (GeForce4 Ti4600): frame buffers (color + accumulation),
+viewport projection, the OpenGL-spec point / line / anti-aliased-line /
+polygon rasterization rules of the paper's section 2.2, the hardware Minmax
+readback of section 3.2, and the device limits (maximum anti-aliased line
+width) whose effects section 4.4 measures.  See DESIGN.md section 2 for why
+this substitution preserves the paper's correctness and cost-shape claims.
+"""
+
+from .costmodel import CostCounters, GpuCostModel
+from .distance_field import distance_field, min_center_distance, within_pixel_distance
+from .framebuffer import Framebuffer
+from .pipeline import GraphicsPipeline
+from .raster_line import (
+    aa_rect_axes,
+    rasterize_line_aa_conservative,
+    rasterize_line_basic,
+)
+from .raster_point import rasterize_point_basic, rasterize_point_conservative
+from .raster_bulk import edges_coverage_mask, rasterize_edges_bulk
+from .raster_polygon import polygon_coverage_mask, rasterize_polygon_evenodd
+from .voronoi import discrete_voronoi, site_distances_at
+from .state import (
+    DEFAULT_AA_LINE_WIDTH,
+    EDGE_COLOR,
+    OVERLAP_COLOR,
+    DeviceLimits,
+    RasterState,
+)
+
+__all__ = [
+    "CostCounters",
+    "DEFAULT_AA_LINE_WIDTH",
+    "DeviceLimits",
+    "EDGE_COLOR",
+    "Framebuffer",
+    "GpuCostModel",
+    "GraphicsPipeline",
+    "OVERLAP_COLOR",
+    "RasterState",
+    "aa_rect_axes",
+    "discrete_voronoi",
+    "distance_field",
+    "edges_coverage_mask",
+    "min_center_distance",
+    "rasterize_edges_bulk",
+    "site_distances_at",
+    "within_pixel_distance",
+    "polygon_coverage_mask",
+    "rasterize_line_aa_conservative",
+    "rasterize_line_basic",
+    "rasterize_point_basic",
+    "rasterize_point_conservative",
+    "rasterize_polygon_evenodd",
+]

@@ -1,0 +1,358 @@
+"""The simulated rendering pipeline: viewport transform, draw calls, readback.
+
+This is the stand-in for the OpenGL context + graphics card of the paper's
+experiments.  It reproduces the pipeline stages of Figure 2 that matter for
+the technique:
+
+* *transformation* - an affine, uniform-scale projection of a data-space
+  window onto the pixel grid (section 3.2's projection strategies give the
+  window; uniform scale keeps widened line widths isotropic so Equation (1)
+  converts data distances to pixel widths exactly);
+* *clipping* - edges entirely outside the viewport are rejected before
+  rasterization, like the hardware's clipping stage;
+* *rasterization* - the point/line/polygon rasterizers of this package,
+  honoring the current :class:`~repro.gpu.state.RasterState`;
+* *per-buffer operations* - color/accumulation buffer clears, glAccum-style
+  transfers, the Minmax readback, and full glReadPixels readback.
+
+Every operation updates :class:`~repro.gpu.costmodel.CostCounters`, enabling
+deterministic ablation benchmarks alongside wall-clock measurements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.rect import Rect
+from .costmodel import CostCounters
+from .framebuffer import Framebuffer
+from .raster_bulk import edges_coverage_mask
+from .raster_line import rasterize_line_basic
+from .raster_point import rasterize_point_basic, rasterize_point_conservative
+from .raster_polygon import rasterize_polygon_evenodd
+from .state import DeviceLimits, RasterState
+
+Coords = Sequence[Tuple[float, float]]
+
+
+class GraphicsPipeline:
+    """A reusable rendering context of fixed resolution.
+
+    Hardware contexts are expensive to create, so - like the paper's
+    implementation - callers allocate one pipeline per window resolution and
+    reuse it across the thousands or millions of pairwise tests of a query.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: Optional[int] = None,
+        limits: Optional[DeviceLimits] = None,
+    ) -> None:
+        height = width if height is None else height
+        self.limits = limits if limits is not None else DeviceLimits()
+        if width < 1 or height < 1:
+            raise ValueError("viewport must be at least 1x1")
+        if width > self.limits.max_viewport or height > self.limits.max_viewport:
+            raise ValueError(
+                f"viewport {width}x{height} exceeds device limit "
+                f"{self.limits.max_viewport}"
+            )
+        self.fb = Framebuffer(width, height)
+        self.state = RasterState()
+        self.counters = CostCounters()
+        # Identity-ish projection until a window is set.
+        self._window = Rect(0.0, 0.0, float(width), float(height))
+        self._scale = 1.0
+        self._offset4 = np.zeros(4, dtype=np.float64)
+
+    # -- projection ----------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        return self.fb.width
+
+    @property
+    def height(self) -> int:
+        return self.fb.height
+
+    @property
+    def window(self) -> Rect:
+        """The data-space rectangle currently mapped onto the viewport."""
+        return self._window
+
+    @property
+    def scale(self) -> float:
+        """Pixels per data unit of the current projection."""
+        return self._scale
+
+    def set_data_window(self, window: Rect) -> None:
+        """Project ``window`` onto the viewport with uniform scale.
+
+        The window's longer side spans the corresponding viewport dimension;
+        uniform scaling means a data-space distance D maps to ``D * scale``
+        pixels in every direction, which Equation (1) relies on.  Degenerate
+        (zero-extent) windows are legal - they arise when two MBRs touch
+        along an edge or corner - and map everything to the first pixel.
+        """
+        span = max(window.width, window.height)
+        self._window = window
+        self._scale = (max(self.width, self.height) / span) if span > 0.0 else 1.0
+        self._offset4 = np.array(
+            [window.xmin, window.ymin, window.xmin, window.ymin], dtype=np.float64
+        )
+
+    def data_to_window(self, x: float, y: float) -> Tuple[float, float]:
+        """Transform data coordinates to window (pixel) coordinates."""
+        return (
+            (x - self._window.xmin) * self._scale,
+            (y - self._window.ymin) * self._scale,
+        )
+
+    def distance_to_pixels(self, d: float) -> float:
+        """Convert a data-space distance to pixels under the projection."""
+        return d * self._scale
+
+    def line_width_for_distance(self, d: float) -> int:
+        """Equation (1): the integral pixel width for query distance ``d``.
+
+        ``LineWidth = PointWidth = ceil(d * n / max(w, h)) = ceil(d * scale)``,
+        rounded up so the rendered footprint never under-covers the distance.
+        """
+        return max(1, math.ceil(self.distance_to_pixels(d)))
+
+    # -- buffer operations ---------------------------------------------------
+
+    def clear_color(self, value: float = 0.0) -> None:
+        self.fb.clear_color(value)
+        self.counters.buffer_clears += 1
+        self.counters.pixels_cleared += self.width * self.height
+
+    def clear_accum(self, value: float = 0.0) -> None:
+        self.fb.clear_accum(value)
+        self.counters.buffer_clears += 1
+        self.counters.pixels_cleared += self.width * self.height
+
+    def clear_stencil(self, value: int = 0) -> None:
+        self.fb.clear_stencil(value)
+        self.counters.buffer_clears += 1
+        self.counters.pixels_cleared += self.width * self.height
+
+    def clear_depth(self, value: float = 1.0) -> None:
+        self.fb.clear_depth(value)
+        self.counters.buffer_clears += 1
+        self.counters.pixels_cleared += self.width * self.height
+
+    def accum_add(self, scale: float = 1.0) -> None:
+        self.fb.accum_add(scale)
+        self.counters.accum_ops += 1
+
+    def accum_load(self, scale: float = 1.0) -> None:
+        self.fb.accum_load(scale)
+        self.counters.accum_ops += 1
+
+    def accum_return(self, scale: float = 1.0) -> None:
+        self.fb.accum_return(scale)
+        self.counters.accum_ops += 1
+
+    def minmax(self, buffer: str = "color") -> Tuple[float, float]:
+        """Hardware Minmax: min/max of a buffer without a bus transfer."""
+        self.counters.minmax_ops += 1
+        self.counters.pixels_scanned += self.width * self.height
+        return self.fb.minmax(buffer)
+
+    def read_pixels(self, buffer: str = "color"):
+        """Full readback through the bus (the slow path Minmax avoids)."""
+        self.counters.readback_ops += 1
+        self.counters.pixels_transferred += self.width * self.height
+        return self.fb.read_pixels(buffer)
+
+    # -- draw calls -----------------------------------------------------------
+
+    def render_coverage_mask(self, edges_data: np.ndarray) -> np.ndarray:
+        """Render a boundary and return its conservative coverage mask.
+
+        Used by the distance-field test: the draw call goes through the
+        normal transform/clip/rasterize stages (and is counted as such),
+        but the caller receives the fragment mask instead of a buffer
+        write.
+        """
+        self.state.validate(self.limits)
+        self.counters.draw_calls += 1
+        state = self.state
+        edges = (edges_data - self._offset4) * self._scale
+        pad = max(state.line_width, state.point_size) + 1.0
+        x_lo = np.minimum(edges[:, 0], edges[:, 2])
+        x_hi = np.maximum(edges[:, 0], edges[:, 2])
+        y_lo = np.minimum(edges[:, 1], edges[:, 3])
+        y_hi = np.maximum(edges[:, 1], edges[:, 3])
+        keep = (
+            (x_hi >= -pad)
+            & (x_lo <= self.width + pad)
+            & (y_hi >= -pad)
+            & (y_lo <= self.height + pad)
+        )
+        kept = int(np.count_nonzero(keep))
+        self.counters.edges_rendered += kept
+        self.counters.edges_clipped_away += edges.shape[0] - kept
+        if kept == 0:
+            return np.zeros((self.height, self.width), dtype=bool)
+        if kept != edges.shape[0]:
+            edges = edges[keep]
+        mask = edges_coverage_mask(
+            (self.height, self.width),
+            edges,
+            width_px=state.line_width,
+            cap_points=state.cap_points,
+        )
+        self.counters.pixels_written += int(np.count_nonzero(mask))
+        return mask
+
+    def compute_distance_field(self, mask: np.ndarray) -> np.ndarray:
+        """Distance field of a coverage mask (counted as a field pass)."""
+        from .distance_field import distance_field
+
+        self.counters.distance_field_pixels += self.width * self.height
+        return distance_field(mask)
+
+
+    def draw_polygon_edges(self, coords: Coords, closed: bool = True) -> None:
+        """Render a vertex chain as line segments under the current state.
+
+        This is how Algorithm 3.1 renders polygons: as chains of segments,
+        never as filled polygons, avoiding software triangulation.  Edges
+        wholly outside the viewport (after widening) are clipped away.
+        """
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] < 2:
+            raise ValueError("coords must be an (n >= 2, 2) vertex sequence")
+        if closed:
+            starts = np.roll(arr, 1, axis=0)
+            ends = arr
+        else:
+            starts = arr[:-1]
+            ends = arr[1:]
+        self.draw_edges_array(np.hstack([starts, ends]))
+
+    def draw_edges_array(self, edges_data: np.ndarray) -> None:
+        """Render an ``(E, 4)`` array of data-space segments.
+
+        The vectorized equivalent of :meth:`draw_polygon_edges` for callers
+        that cache edge arrays (``Polygon.edges_array``); the transform is
+        affine, so edges map to window space in two array operations.
+        """
+        self.state.validate(self.limits)
+        self.counters.draw_calls += 1
+        state = self.state
+
+        # Transformation stage.
+        edges = (edges_data - self._offset4) * self._scale  # (E, 4): x0 y0 x1 y1
+
+        # Clipping stage: reject edges whose widened footprint cannot touch
+        # the viewport.
+        pad = max(state.line_width, state.point_size) + 1.0
+        x_lo = np.minimum(edges[:, 0], edges[:, 2])
+        x_hi = np.maximum(edges[:, 0], edges[:, 2])
+        y_lo = np.minimum(edges[:, 1], edges[:, 3])
+        y_hi = np.maximum(edges[:, 1], edges[:, 3])
+        keep = (
+            (x_hi >= -pad)
+            & (x_lo <= self.width + pad)
+            & (y_hi >= -pad)
+            & (y_lo <= self.height + pad)
+        )
+        kept = int(np.count_nonzero(keep))
+        self.counters.edges_rendered += kept
+        self.counters.edges_clipped_away += edges.shape[0] - kept
+        if kept == 0:
+            return
+        if kept != edges.shape[0]:
+            edges = edges[keep]
+
+        # Rasterization stage.
+        if state.antialias:
+            mask = edges_coverage_mask(
+                (self.height, self.width),
+                edges,
+                width_px=state.line_width,
+                cap_points=state.cap_points,
+            )
+            written = self._apply_fragment_ops(mask)
+        else:
+            written = 0
+            for x0, y0, x1, y1 in edges:
+                written += rasterize_line_basic(
+                    self.fb.color, x0, y0, x1, y1, color=state.color
+                )
+        self.counters.pixels_written += written
+
+    def _apply_fragment_ops(self, mask: np.ndarray) -> int:
+        """Apply the per-fragment pipeline to one draw call's coverage mask.
+
+        Order follows the GL fragment pipeline for the operations this
+        simulation models: depth test first, then stencil update, depth
+        write, and finally the color write (replace, additive blend, or
+        logical OR).  Returns the number of fragments that survived.
+        """
+        state = self.state
+        fb = self.fb
+        if state.depth_test is not None:
+            if state.depth_test != "equal":
+                raise ValueError(f"unsupported depth func {state.depth_test!r}")
+            mask = mask & (fb.depth == np.float32(state.depth_value))
+        written = int(np.count_nonzero(mask))
+        if written == 0:
+            return 0
+        if state.stencil_op is not None:
+            if state.stencil_op != "incr":
+                raise ValueError(f"unsupported stencil op {state.stencil_op!r}")
+            plane = fb.stencil
+            selected = plane[mask]
+            # Saturating increment, per the GL_INCR specification.
+            plane[mask] = np.where(selected == 255, selected, selected + 1)
+        if state.depth_write:
+            fb.depth[mask] = np.float32(state.depth_value)
+        if state.color_write:
+            if state.logic_op is not None:
+                if state.logic_op != "or":
+                    raise ValueError(f"unsupported logic op {state.logic_op!r}")
+                bits = fb.color.astype(np.uint8)
+                bits[mask] |= np.uint8(int(state.color))
+                fb.color[:] = bits
+            elif state.blend:
+                fb.color[mask] += np.float32(state.color)
+            else:
+                fb.color[mask] = state.color
+        return written
+
+    def draw_point(self, x: float, y: float) -> None:
+        """Render a single point under the current state."""
+        self.state.validate(self.limits)
+        self.counters.draw_calls += 1
+        self.counters.points_rendered += 1
+        wx, wy = self.data_to_window(x, y)
+        if self.state.antialias and self.state.point_size > 1.0:
+            written = rasterize_point_conservative(
+                self.fb.color, wx, wy, self.state.point_size, self.state.color
+            )
+        else:
+            written = rasterize_point_basic(self.fb.color, wx, wy, self.state.color)
+        self.counters.pixels_written += written
+
+    def draw_filled_polygon(self, coords: Coords) -> None:
+        """Render a filled polygon (convex or not, via even-odd scanline).
+
+        Real hardware only fills convex polygons; the paper's technique
+        avoids filling entirely.  The simulation offers it for completeness
+        (visualizations, the interior-filter reference path).
+        """
+        self.counters.draw_calls += 1
+        window_coords = [self.data_to_window(x, y) for x, y in coords]
+        written = rasterize_polygon_evenodd(
+            self.fb.color, window_coords, color=self.state.color
+        )
+        self.counters.pixels_written += written
+        self.counters.edges_rendered += len(coords)

@@ -1,0 +1,185 @@
+"""Line segment rasterization (OpenGL spec rules, paper section 2.2.2).
+
+Two rasterizers:
+
+* :func:`rasterize_line_basic` - the *diamond-exit* rule.  A pixel is colored
+  when the segment intersects the open diamond ``R_f`` around the pixel
+  center and the segment's end point is not inside that diamond.  As the
+  paper illustrates (Figure 3d), short or unluckily placed segments can
+  simply disappear - which is exactly why the hardware test cannot use basic
+  lines.
+* :func:`rasterize_line_aa_conservative` - anti-aliased lines with blending
+  disabled.  The OpenGL spec defines the AA footprint as the bounding
+  rectangle of the segment with width ``w`` (two edges parallel to the
+  segment at distance ``w/2``, two perpendicular edges through the end
+  points); every pixel with non-zero coverage is touched.  With blending
+  disabled the alpha is ignored and the pixel receives the full line color
+  (Figure 4d), which gives the guarantee Algorithm 3.1 relies on: *every
+  pixel whose cell intersects the rectangle is colored*.  The paper uses
+  width sqrt(2) (the pixel diagonal) for intersection tests and
+  Equation (1)'s widened lines for distance tests.
+
+The conservative rasterizer implements an exact separating-axis test between
+the oriented rectangle and each pixel cell, vectorized over the rectangle's
+bounding box, so the cost is proportional to the bounding-box pixel count -
+the same scaling a hardware rasterizer exhibits.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .raster_point import rasterize_point_conservative
+
+#: Slack added to every coverage comparison.  Rounding in the unit-vector
+#: computation can push an exact boundary touch (rect corner on cell corner)
+#: one ulp past the closed-inequality limit; inflating the footprint by a
+#: hair keeps the rasterization conservative under floating point.  Extra
+#: pixels only ever add false *positives*, which the software step resolves.
+COVERAGE_EPS = 1e-7
+
+
+def _l1_distance_point_to_segment(
+    cx: float, cy: float, x0: float, y0: float, x1: float, y1: float
+) -> float:
+    """Minimum L1 (Manhattan) distance from ``(cx, cy)`` to segment.
+
+    The L1 distance along the segment is piecewise linear in the parameter t,
+    so the minimum is attained at t in {0, 1} or where the segment crosses
+    the vertical/horizontal lines through the center.
+    """
+    dx = x1 - x0
+    dy = y1 - y0
+    candidates = [0.0, 1.0]
+    if dx != 0.0:
+        candidates.append((cx - x0) / dx)
+    if dy != 0.0:
+        candidates.append((cy - y0) / dy)
+    best = math.inf
+    for t in candidates:
+        if t < 0.0:
+            t = 0.0
+        elif t > 1.0:
+            t = 1.0
+        d = abs(x0 + t * dx - cx) + abs(y0 + t * dy - cy)
+        if d < best:
+            best = d
+    return best
+
+
+def rasterize_line_basic(
+    buffer: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    color: float = 1.0,
+) -> int:
+    """Diamond-exit-rule rasterization of segment ``(x0,y0)-(x1,y1)``.
+
+    Returns the number of pixels written.  Following the spec: pixel ``f`` is
+    produced iff the segment intersects the open diamond ``R_f`` and the end
+    point ``(x1, y1)`` does not lie inside ``R_f`` (the segment must *exit*
+    the diamond).
+    """
+    height, width = buffer.shape
+    i0 = max(math.floor(min(x0, x1)) - 1, 0)
+    i1 = min(math.floor(max(x0, x1)) + 1, width - 1)
+    j0 = max(math.floor(min(y0, y1)) - 1, 0)
+    j1 = min(math.floor(max(y0, y1)) + 1, height - 1)
+    written = 0
+    for j in range(j0, j1 + 1):
+        cy = j + 0.5
+        for i in range(i0, i1 + 1):
+            cx = i + 0.5
+            if _l1_distance_point_to_segment(cx, cy, x0, y0, x1, y1) >= 0.5:
+                continue  # segment misses the open diamond
+            if abs(x1 - cx) + abs(y1 - cy) < 0.5:
+                continue  # end point inside the diamond: no exit, no pixel
+            buffer[j, i] = color
+            written += 1
+    return written
+
+
+def aa_rect_axes(
+    x0: float, y0: float, x1: float, y1: float
+) -> Tuple[float, float, float, float, float, float, float]:
+    """Midpoint, unit axes, and half-length of the AA bounding rectangle.
+
+    Returns ``(mx, my, ux, uy, vx, vy, half_len)`` where ``u`` points along
+    the segment and ``v`` is its left normal.  Degenerate segments raise; the
+    caller must handle them as points.
+    """
+    dx = x1 - x0
+    dy = y1 - y0
+    length = math.hypot(dx, dy)
+    if length == 0.0:
+        raise ValueError("degenerate segment has no direction")
+    ux = dx / length
+    uy = dy / length
+    return ((x0 + x1) * 0.5, (y0 + y1) * 0.5, ux, uy, -uy, ux, length * 0.5)
+
+
+def rasterize_line_aa_conservative(
+    buffer: np.ndarray,
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    width_px: float = math.sqrt(2.0),
+    color: float = 1.0,
+    cap_points: bool = False,
+) -> int:
+    """Anti-aliased line with blending disabled: conservative footprint.
+
+    Colors every pixel whose (closed) unit cell intersects the width-``w``
+    bounding rectangle of the segment.  When ``cap_points`` is set, square
+    end-point caps of side ``width_px`` are added (the PointWidth rendering
+    of the distance test, Figure 6), turning the footprint into a superset of
+    the capsule of radius ``width_px / 2`` around the segment.
+
+    Returns the number of pixels written.
+    """
+    if width_px <= 0.0:
+        raise ValueError("line width must be positive")
+    height, buf_width = buffer.shape
+    if x0 == x1 and y0 == y1:
+        return rasterize_point_conservative(buffer, x0, y0, width_px, color)
+
+    mx, my, ux, uy, vx, vy, hu = aa_rect_axes(x0, y0, x1, y1)
+    hv = width_px * 0.5
+
+    # Bounding box of the oriented rectangle, padded by the cell half-extent.
+    ext_x = hu * abs(ux) + hv * abs(vx)
+    ext_y = hu * abs(uy) + hv * abs(vy)
+    i0 = max(math.floor(mx - ext_x - 0.5), 0)
+    i1 = min(math.floor(mx + ext_x + 0.5), buf_width - 1)
+    j0 = max(math.floor(my - ext_y - 0.5), 0)
+    j1 = min(math.floor(my + ext_y + 0.5), height - 1)
+    written = 0
+    if i0 <= i1 and j0 <= j1:
+        # Separating-axis test between the oriented rectangle and each cell,
+        # vectorized over the bounding box.  Cell centers are (i+0.5, j+0.5)
+        # with half-extent 0.5 on both axes.
+        cx = np.arange(i0, i1 + 1, dtype=np.float64) + 0.5 - mx
+        cy = np.arange(j0, j1 + 1, dtype=np.float64) + 0.5 - my
+        gx, gy = np.meshgrid(cx, cy)
+        cell_u = 0.5 * (abs(ux) + abs(uy))
+        cell_v = 0.5 * (abs(vx) + abs(vy))
+        mask = (
+            (np.abs(gx) <= ext_x + 0.5 + COVERAGE_EPS)
+            & (np.abs(gy) <= ext_y + 0.5 + COVERAGE_EPS)
+            & (np.abs(gx * ux + gy * uy) <= hu + cell_u + COVERAGE_EPS)
+            & (np.abs(gx * vx + gy * vy) <= hv + cell_v + COVERAGE_EPS)
+        )
+        written = int(mask.sum())
+        if written:
+            view = buffer[j0 : j1 + 1, i0 : i1 + 1]
+            view[mask] = color
+    if cap_points:
+        written += rasterize_point_conservative(buffer, x0, y0, width_px, color)
+        written += rasterize_point_conservative(buffer, x1, y1, width_px, color)
+    return written

@@ -1,0 +1,60 @@
+"""Point rasterization (OpenGL spec rules, paper section 2.2.1).
+
+Two flavors:
+
+* :func:`rasterize_point_basic` - the spec rule: truncate the window
+  coordinates and color the single pixel ``(floor(xw), floor(yw))``.
+* :func:`rasterize_point_conservative` - wide points used as end-point caps
+  for widened line segments in the distance test (section 3.1, Figure 6):
+  every pixel whose cell intersects the ``size x size`` square centered on
+  the point is colored.  The square cap covers the disc cap of the same
+  diameter, preserving the conservative no-false-negative guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def rasterize_point_basic(
+    buffer: np.ndarray, x: float, y: float, color: float = 1.0
+) -> int:
+    """Color the pixel containing window coordinates ``(x, y)``.
+
+    Returns the number of pixels written (0 when the point falls outside the
+    buffer - the hardware clips it).
+    """
+    height, width = buffer.shape
+    px = math.floor(x)
+    py = math.floor(y)
+    if 0 <= px < width and 0 <= py < height:
+        buffer[py, px] = color
+        return 1
+    return 0
+
+
+def rasterize_point_conservative(
+    buffer: np.ndarray, x: float, y: float, size: float, color: float = 1.0
+) -> int:
+    """Color every pixel whose cell touches the square of side ``size`` at ``(x, y)``.
+
+    Returns the number of pixels written.
+    """
+    if size < 0.0:
+        raise ValueError("point size must be non-negative")
+    height, width = buffer.shape
+    half = size * 0.5
+    # Closed cell [i, i+1] intersects the closed square [x-half, x+half]
+    # iff i <= x+half and i+1 >= x-half.
+    eps = 1e-7  # matches COVERAGE_EPS in raster_line (kept literal to
+    # avoid a circular import); see that constant for the rationale
+    i0 = max(math.ceil(x - half - 1.0 - eps), 0)
+    i1 = min(math.floor(x + half + eps), width - 1)
+    j0 = max(math.ceil(y - half - 1.0 - eps), 0)
+    j1 = min(math.floor(y + half + eps), height - 1)
+    if i0 > i1 or j0 > j1:
+        return 0
+    buffer[j0 : j1 + 1, i0 : i1 + 1] = color
+    return (i1 - i0 + 1) * (j1 - j0 + 1)

@@ -1,0 +1,86 @@
+"""Filled polygon rasterization (OpenGL spec rules, paper section 2.2.3).
+
+The spec's two polygon rules, which this scanline implementation follows:
+
+1. a pixel is colored only when its center lies inside the polygon;
+2. a pixel whose center lies exactly on a shared edge of two polygons is
+   colored exactly once.
+
+Rule 2 is obtained with the standard half-open crossing convention: an edge
+spanning ``[ymin, ymax)`` contributes a crossing, and fill spans are
+half-open ``[x_enter, x_exit)`` in pixel-center space, so abutting polygons
+tile without double-writing or gaps.
+
+The paper deliberately avoids filled polygons in the hardware test (concave
+polygons would need software triangulation - the motivating observation of
+section 3); this rasterizer exists because the substrate is a *general*
+OpenGL simulation: the interior filter's tile visualization, the examples,
+and several tests use it, and it documents what the technique avoids.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def rasterize_polygon_evenodd(
+    buffer: np.ndarray,
+    vertices: Sequence[Tuple[float, float]],
+    color: float = 1.0,
+) -> int:
+    """Fill a polygon given by window-space ``(x, y)`` vertices.
+
+    Uses the even-odd rule, which is also how non-simple GIS rings are
+    conventionally interpreted.  Returns the number of pixels written.
+    """
+    n = len(vertices)
+    if n < 3:
+        raise ValueError("polygon needs at least 3 vertices")
+    height, width = buffer.shape
+
+    xs = np.array([v[0] for v in vertices], dtype=np.float64)
+    ys = np.array([v[1] for v in vertices], dtype=np.float64)
+    x0s, y0s = xs, ys
+    x1s, y1s = np.roll(xs, -1), np.roll(ys, -1)
+
+    j_min = max(math.floor(ys.min() - 0.5), 0)
+    j_max = min(math.floor(ys.max() - 0.5) + 1, height - 1)
+    written = 0
+    for j in range(j_min, j_max + 1):
+        yc = j + 0.5
+        # Half-open rule: edge crosses the scanline iff yc is in [min, max).
+        crosses = (y0s > yc) != (y1s > yc)
+        if not crosses.any():
+            continue
+        ex0, ey0 = x0s[crosses], y0s[crosses]
+        ex1, ey1 = x1s[crosses], y1s[crosses]
+        cross_x = ex0 + (yc - ey0) * (ex1 - ex0) / (ey1 - ey0)
+        cross_x.sort()
+        for k in range(0, len(cross_x) - 1, 2):
+            xa, xb = cross_x[k], cross_x[k + 1]
+            # Pixel centers i + 0.5 in the half-open span [xa, xb).
+            i_start = max(math.ceil(xa - 0.5), 0)
+            i_stop = math.floor(xb - 0.5)
+            if xb - 0.5 == i_stop:  # center exactly on the exit edge: excluded
+                i_stop -= 1
+            i_stop = min(i_stop, width - 1)
+            if i_start <= i_stop:
+                buffer[j, i_start : i_stop + 1] = color
+                written += i_stop - i_start + 1
+    return written
+
+
+def polygon_coverage_mask(
+    shape: Tuple[int, int], vertices: Sequence[Tuple[float, float]]
+) -> np.ndarray:
+    """Boolean mask of pixels whose centers are inside the polygon.
+
+    Convenience wrapper over :func:`rasterize_polygon_evenodd` used by tests
+    and by the interior filter's reference implementation.
+    """
+    buf = np.zeros(shape, dtype=np.float32)
+    rasterize_polygon_evenodd(buf, vertices, color=1.0)
+    return buf > 0.0

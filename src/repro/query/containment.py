@@ -1,0 +1,89 @@
+"""Containment selection: objects strictly inside a query region.
+
+The interior filter's second advertised query type (paper Table 1:
+"Intersection and Containment").  The pipeline mirrors the intersection
+selection, but here the interior filter is in its element: an object whose
+MBR is completely covered by interior tiles is *provably* inside the query
+polygon, and in the refinement step the hardware test can confirm
+containment outright (boundaries disjoint + a vertex inside, see
+:mod:`repro.core.containment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.engine import RefinementEngine
+from ..datasets.dataset import SpatialDataset
+from ..filters.interior import InteriorFilter
+from ..geometry.polygon import Polygon
+from ..index.str_pack import str_bulk_load
+from .costs import CostBreakdown
+
+
+@dataclass
+class ContainmentResult:
+    """Ids of properly-contained objects plus the cost breakdown."""
+
+    ids: List[int]
+    cost: CostBreakdown
+
+
+class ContainmentSelection:
+    """Find every dataset object strictly inside a (simple) query polygon."""
+
+    def __init__(
+        self,
+        dataset: SpatialDataset,
+        engine: RefinementEngine,
+        interior_level: Optional[int] = None,
+    ) -> None:
+        if interior_level is not None and interior_level < 0:
+            raise ValueError("interior_level must be >= 0")
+        self.dataset = dataset
+        self.engine = engine
+        self.interior_level = interior_level
+        self.index = str_bulk_load(
+            [(mbr, i) for i, mbr in enumerate(dataset.mbrs)]
+        )
+
+    def run(self, query: Polygon) -> ContainmentResult:
+        cost = CostBreakdown()
+
+        # MBR filtering: containment requires the MBR inside the query MBR.
+        with cost.time_stage("mbr_filter"):
+            candidates = [
+                i
+                for i in self.index.search(query.mbr)
+                if query.mbr.contains_rect(self.dataset.mbrs[i])
+            ]
+            candidates.sort()
+        cost.candidates_after_mbr = len(candidates)
+
+        positives: List[int] = []
+        remaining = candidates
+        if self.interior_level is not None:
+            with cost.time_stage("intermediate_filter"):
+                interior = InteriorFilter(query, self.interior_level)
+                remaining = []
+                for i in candidates:
+                    # Interior tiles lie in the open interior, so a covered
+                    # MBR certifies *proper* containment directly.
+                    if interior.covers(self.dataset.mbrs[i]):
+                        positives.append(i)
+                    else:
+                        remaining.append(i)
+            cost.filter_positives = len(positives)
+
+        with cost.time_stage("geometry"):
+            for i in remaining:
+                cost.pairs_compared += 1
+                if self.engine.contains_properly(
+                    query, self.dataset.polygons[i]
+                ):
+                    positives.append(i)
+
+        positives.sort()
+        cost.results = len(positives)
+        return ContainmentResult(ids=positives, cost=cost)

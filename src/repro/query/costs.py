@@ -1,0 +1,68 @@
+"""Per-stage cost accounting for query pipelines.
+
+The paper's Figures 10-16 all report *computational cost per processing
+stage* (Figure 8: MBR filtering, intermediate filtering, geometry
+comparison) measured as wall-clock time.  :class:`CostBreakdown` captures
+exactly those numbers plus the candidate counts flowing between stages, so
+experiments can print the same rows the paper plots.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass
+class CostBreakdown:
+    """Stage timings (seconds) and stage-to-stage candidate counts."""
+
+    mbr_filter_s: float = 0.0
+    intermediate_filter_s: float = 0.0
+    geometry_s: float = 0.0
+
+    candidates_after_mbr: int = 0
+    filter_positives: int = 0
+    pairs_compared: int = 0
+    results: int = 0
+
+    @property
+    def total_s(self) -> float:
+        """Total computational cost (the paper's "total query cost")."""
+        return self.mbr_filter_s + self.intermediate_filter_s + self.geometry_s
+
+    def merge(self, other: "CostBreakdown") -> None:
+        """Accumulate another query's costs (for averaging query sets)."""
+        self.mbr_filter_s += other.mbr_filter_s
+        self.intermediate_filter_s += other.intermediate_filter_s
+        self.geometry_s += other.geometry_s
+        self.candidates_after_mbr += other.candidates_after_mbr
+        self.filter_positives += other.filter_positives
+        self.pairs_compared += other.pairs_compared
+        self.results += other.results
+
+    def scaled(self, factor: float) -> "CostBreakdown":
+        """A copy with timings multiplied by ``factor`` (e.g. per-query mean)."""
+        return CostBreakdown(
+            mbr_filter_s=self.mbr_filter_s * factor,
+            intermediate_filter_s=self.intermediate_filter_s * factor,
+            geometry_s=self.geometry_s * factor,
+            candidates_after_mbr=self.candidates_after_mbr,
+            filter_positives=self.filter_positives,
+            pairs_compared=self.pairs_compared,
+            results=self.results,
+        )
+
+    @contextmanager
+    def time_stage(self, stage: str) -> Iterator[None]:
+        """Accumulate wall-clock time into ``<stage>_s``."""
+        attr = f"{stage}_s"
+        if not hasattr(self, attr):
+            raise ValueError(f"unknown stage {stage!r}")
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(self, attr, getattr(self, attr) + time.perf_counter() - start)

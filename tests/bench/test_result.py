@@ -1,0 +1,64 @@
+"""Tests for the ExperimentResult formatting."""
+
+from repro.bench.result import ExperimentResult, _fmt
+
+
+def make_result(**overrides):
+    base = dict(
+        experiment_id="figX",
+        title="Example",
+        params={"scale": "tiny", "k": 3},
+        columns=("name", "value"),
+        rows=[("alpha", 1.0), ("beta", 22.5)],
+        paper_expectation="values exist",
+        notes=["a note"],
+    )
+    base.update(overrides)
+    return ExperimentResult(**base)
+
+
+class TestFormat:
+    def test_contains_all_sections(self):
+        text = make_result().format()
+        assert "== figX: Example ==" in text
+        assert "params: scale=tiny, k=3" in text
+        assert "paper: values exist" in text
+        assert "note: a note" in text
+
+    def test_columns_aligned(self):
+        text = make_result().format()
+        lines = text.splitlines()
+        header = next(l for l in lines if l.startswith("name"))
+        separator = lines[lines.index(header) + 1]
+        assert set(separator.replace(" ", "")) == {"-"}
+
+    def test_rows_present(self):
+        text = make_result().format()
+        assert "alpha" in text and "beta" in text
+
+    def test_empty_rows_ok(self):
+        text = make_result(rows=[]).format()
+        assert "name" in text
+
+    def test_no_expectation_no_paper_line(self):
+        text = make_result(paper_expectation="", notes=[]).format()
+        assert "paper:" not in text
+        assert "note:" not in text
+
+
+class TestValueFormatting:
+    def test_zero(self):
+        assert _fmt(0.0) == "0"
+
+    def test_small_scientific(self):
+        assert "e" in _fmt(0.0000123)
+
+    def test_large_scientific(self):
+        assert "e" in _fmt(1_234_567.0)
+
+    def test_normal_float_compact(self):
+        assert _fmt(12.3456) == "12.35"
+
+    def test_non_float_passthrough(self):
+        assert _fmt("x") == "x"
+        assert _fmt(42) == "42"

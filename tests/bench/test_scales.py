@@ -1,0 +1,57 @@
+"""Tests for the workload scale presets."""
+
+import pytest
+
+from repro.bench import DEFAULT_SCALE, SCALES, get_scale
+
+
+class TestGetScale:
+    def test_known_names(self):
+        for name in ("tiny", "small", "medium"):
+            assert get_scale(name).name == name
+
+    def test_pass_through(self):
+        scale = SCALES["tiny"]
+        assert get_scale(scale) is scale
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_scale("enormous")
+
+    def test_default_exists(self):
+        assert DEFAULT_SCALE in SCALES
+
+
+class TestFactors:
+    def test_all_datasets_have_both_roles(self):
+        names = {"LANDC", "LANDO", "PRISM", "WATER", "STATES50"}
+        for scale in SCALES.values():
+            assert set(scale.join_factors) == names
+            assert set(scale.selection_factors) == names
+
+    def test_states50_never_scaled(self):
+        """The paper uses the full 31-polygon query set."""
+        for scale in SCALES.values():
+            assert scale.n_scale("STATES50", "join") == 1.0
+            assert scale.n_scale("STATES50", "selection") == 1.0
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError):
+            SCALES["tiny"].n_scale("OCEANS")
+
+    def test_presets_ordered_by_size(self):
+        for name in ("LANDC", "WATER", "PRISM"):
+            tiny = SCALES["tiny"].n_scale(name)
+            small = SCALES["small"].n_scale(name)
+            medium = SCALES["medium"].n_scale(name)
+            assert tiny < small < medium
+
+    def test_load_uses_role(self):
+        scale = SCALES["tiny"]
+        join_ds = scale.load("WATER", role="join")
+        sel_ds = scale.load("WATER", role="selection")
+        assert len(sel_ds) > len(join_ds)  # selection keeps more objects
+
+    def test_load_name_records_scale(self):
+        ds = SCALES["tiny"].load("LANDO", role="join")
+        assert "LANDO@" in ds.name

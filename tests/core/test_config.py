@@ -1,0 +1,50 @@
+"""Tests for HardwareConfig validation and the sw_threshold rule."""
+
+import pytest
+
+from repro.core import HardwareConfig
+from repro.gpu import DeviceLimits
+
+
+class TestValidation:
+    def test_defaults(self):
+        cfg = HardwareConfig()
+        assert cfg.resolution == 8
+        assert cfg.sw_threshold == 0
+        assert cfg.limits.max_aa_line_width == 10.0
+
+    def test_rejects_zero_resolution(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(resolution=0)
+
+    def test_rejects_resolution_beyond_viewport(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(resolution=4096)
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(sw_threshold=-1)
+
+    def test_custom_limits_propagate(self):
+        limits = DeviceLimits(max_viewport=64)
+        with pytest.raises(ValueError):
+            HardwareConfig(resolution=128, limits=limits)
+
+    def test_frozen(self):
+        cfg = HardwareConfig()
+        with pytest.raises(AttributeError):
+            cfg.resolution = 16
+
+
+class TestThresholdRule:
+    def test_zero_threshold_always_hardware(self):
+        cfg = HardwareConfig(sw_threshold=0)
+        assert cfg.use_hardware_for(1)
+        assert cfg.use_hardware_for(10_000)
+
+    def test_threshold_boundary_is_software(self):
+        """Section 4.3: n + m <= sw_threshold skips the hardware test."""
+        cfg = HardwareConfig(sw_threshold=500)
+        assert not cfg.use_hardware_for(500)
+        assert not cfg.use_hardware_for(499)
+        assert cfg.use_hardware_for(501)

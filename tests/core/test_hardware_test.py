@@ -1,0 +1,166 @@
+"""Tests for the hardware segment intersection / proximity test.
+
+The central property: the hardware test NEVER answers DISJOINT for a pair
+whose boundaries actually intersect (or lie within D) - that would be a
+false negative, breaking the exactness of Algorithm 3.1.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HardwareConfig, HardwareSegmentTest, HardwareVerdict
+from repro.core.projection import distance_window, intersection_window
+from repro.geometry import (
+    Polygon,
+    boundaries_intersect_brute_force,
+    boundary_distance_brute_force,
+)
+from repro.gpu import DeviceLimits
+from tests.strategies import polygon_pairs_nearby
+
+SQUARE = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+SHIFTED = Polygon.from_coords([(2, 2), (6, 2), (6, 6), (2, 6)])
+INNER = Polygon.from_coords([(1, 1), (3, 1), (3, 3), (1, 3)])
+
+
+def make_test(resolution=8, **kwargs) -> HardwareSegmentTest:
+    return HardwareSegmentTest(HardwareConfig(resolution=resolution, **kwargs))
+
+
+class TestIntersectionVerdict:
+    def test_crossing_boundaries_maybe(self):
+        hw = make_test()
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        assert hw.intersection_verdict(SQUARE, SHIFTED, w) is HardwareVerdict.MAYBE
+
+    def test_contained_boundaries_disjoint(self):
+        """Containment leaves no overlapping boundary pixels (that's why
+        Algorithm 3.1 needs the point-in-polygon step)."""
+        hw = make_test(resolution=32)
+        w = intersection_window(SQUARE.mbr, INNER.mbr)
+        assert hw.intersection_verdict(SQUARE, INNER, w) is HardwareVerdict.DISJOINT
+
+    # Two triangles flanking the main diagonal: boundaries run through the
+    # whole shared window, never closer than ~0.7 units.  This is the
+    # "closely located but not intersecting" configuration of section 4.2.
+    BELOW_DIAG = Polygon.from_coords([(0, 0), (8, 0), (8, 8)])
+    ABOVE_DIAG = Polygon.from_coords([(0, 1), (7, 8), (0, 8)])
+
+    def test_near_miss_filtered_at_high_resolution(self):
+        a, b = self.BELOW_DIAG, self.ABOVE_DIAG
+        assert not boundaries_intersect_brute_force(a, b)
+        w = intersection_window(a.mbr, b.mbr)
+        assert w is not None
+        hw = make_test(resolution=32)
+        # At 32x32 the gap spans several pixels: provable disjointness.
+        assert hw.intersection_verdict(a, b, w) is HardwareVerdict.DISJOINT
+
+    def test_low_resolution_cannot_separate(self):
+        """At 1x1 everything in the window collides: no filtering power."""
+        a, b = self.BELOW_DIAG, self.ABOVE_DIAG
+        w = intersection_window(a.mbr, b.mbr)
+        hw = make_test(resolution=1)
+        assert hw.intersection_verdict(a, b, w) is HardwareVerdict.MAYBE
+
+    @settings(max_examples=150, deadline=None)
+    @given(polygon_pairs_nearby())
+    def test_never_false_negative(self, pair):
+        """THE correctness property (paper section 3.1)."""
+        a, b = pair
+        w = intersection_window(a.mbr, b.mbr)
+        if w is None:
+            return
+        hw = make_test(resolution=8)
+        verdict = hw.intersection_verdict(a, b, w)
+        if boundaries_intersect_brute_force(a, b):
+            assert verdict is HardwareVerdict.MAYBE
+
+    @settings(max_examples=60, deadline=None)
+    @given(polygon_pairs_nearby(), st.sampled_from([1, 2, 4, 16, 32]))
+    def test_never_false_negative_any_resolution(self, pair, resolution):
+        a, b = pair
+        w = intersection_window(a.mbr, b.mbr)
+        if w is None:
+            return
+        hw = make_test(resolution=resolution)
+        verdict = hw.intersection_verdict(a, b, w)
+        if boundaries_intersect_brute_force(a, b):
+            assert verdict is HardwareVerdict.MAYBE
+
+
+class TestDistanceVerdict:
+    def test_within_distance_maybe(self):
+        a = SQUARE
+        b = Polygon.from_coords([(6, 0), (8, 0), (8, 4), (6, 4)])  # gap = 2
+        hw = make_test()
+        w = distance_window(a.mbr, b.mbr, 2.5)
+        assert hw.distance_verdict(a, b, w, 2.5) is HardwareVerdict.MAYBE
+
+    def test_far_apart_disjoint(self):
+        a = SQUARE
+        b = Polygon.from_coords([(20, 0), (22, 0), (22, 4), (20, 4)])  # gap 16
+        hw = make_test(resolution=16)
+        w = distance_window(a.mbr, b.mbr, 1.0)
+        assert hw.distance_verdict(a, b, w, 1.0) is HardwareVerdict.DISJOINT
+
+    def test_zero_distance_falls_back_to_intersection(self):
+        hw = make_test()
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        assert hw.distance_verdict(SQUARE, SHIFTED, w, 0.0) is HardwareVerdict.MAYBE
+
+    def test_negative_distance_rejected(self):
+        hw = make_test()
+        with pytest.raises(ValueError):
+            hw.distance_verdict(SQUARE, SHIFTED, SQUARE.mbr, -1.0)
+
+    def test_width_limit_unsupported(self):
+        """Section 4.4: Equation (1) width beyond 10px -> fallback."""
+        a = Polygon.from_coords([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = Polygon.from_coords([(3, 0), (4, 0), (4, 1), (3, 1)])
+        hw = make_test(resolution=32)
+        d = 4.0  # window span = 1 + 2*4 = 9; width = ceil(4 * 32/9) = 15 > 10
+        w = distance_window(a.mbr, b.mbr, d)
+        assert hw.distance_verdict(a, b, w, d) is HardwareVerdict.UNSUPPORTED
+
+    def test_required_line_width_matches_equation(self):
+        hw = make_test(resolution=8)
+        from repro.geometry import Rect
+
+        w = Rect(0, 0, 10, 5)
+        # ceil(2.6 * 8 / 10) = ceil(2.08) = 3
+        assert hw.required_line_width(w, 2.6) == 3
+
+    @settings(max_examples=100, deadline=None)
+    @given(polygon_pairs_nearby(), st.integers(1, 24))
+    def test_never_false_negative_within_distance(self, pair, d_quarters):
+        a, b = pair
+        d = d_quarters / 4.0
+        hw = make_test(resolution=8)
+        w = distance_window(a.mbr, b.mbr, d)
+        verdict = hw.distance_verdict(a, b, w, d)
+        if verdict is HardwareVerdict.UNSUPPORTED:
+            return
+        if boundary_distance_brute_force(a, b) <= d:
+            assert verdict is HardwareVerdict.MAYBE
+
+
+class TestOverlapImage:
+    def test_image_shows_overlap_levels(self):
+        hw = make_test(resolution=8)
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        img = hw.overlap_image(SQUARE, SHIFTED, w)
+        values = set(np.unique(img))
+        assert values <= {np.float32(0.0), np.float32(0.5), np.float32(1.0)}
+        assert np.float32(1.0) in values
+
+    def test_counters_accumulate(self):
+        hw = make_test()
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        hw.intersection_verdict(SQUARE, SHIFTED, w)
+        c = hw.pipeline.counters
+        assert c.draw_calls == 2
+        assert c.minmax_ops == 1
+        assert c.accum_ops == 3  # two adds + one return
+        assert c.buffer_clears == 3  # color, accum, color-between-renders

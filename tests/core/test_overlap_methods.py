@@ -1,0 +1,118 @@
+"""Tests for the five overlap-search implementations (paper section 3).
+
+The paper notes the overlap search can be implemented with the accumulation
+buffer (Algorithm 3.1's choice), blending, logical operations, the depth
+buffer, or the stencil buffer.  All five must produce identical verdicts -
+they differ only in which buffer mechanism carries the "touched by both"
+information.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OVERLAP_METHODS,
+    HardwareConfig,
+    HardwareEngine,
+    HardwareSegmentTest,
+    HardwareVerdict,
+    SoftwareEngine,
+)
+from repro.core.projection import distance_window, intersection_window
+from repro.geometry import Polygon
+from tests.strategies import polygon_pairs_nearby
+
+TRIANGLE = Polygon.from_coords([(0, 0), (8, 0), (8, 8)])
+CROSSER = Polygon.from_coords([(0, 2), (8, 2), (8, 3), (0, 3)])
+NEAR_MISS = Polygon.from_coords([(0, 1), (7, 8), (0, 8)])
+
+
+def make(method, resolution=16):
+    return HardwareSegmentTest(HardwareConfig(resolution=resolution, method=method))
+
+
+class TestMethodRegistry:
+    def test_five_methods(self):
+        assert OVERLAP_METHODS == ("accum", "blend", "logic", "depth", "stencil")
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareConfig(method="raytracing")
+
+
+class TestKnownVerdicts:
+    @pytest.mark.parametrize("method", OVERLAP_METHODS)
+    def test_crossing_pair(self, method):
+        hw = make(method)
+        w = intersection_window(TRIANGLE.mbr, CROSSER.mbr)
+        assert hw.intersection_verdict(TRIANGLE, CROSSER, w) is HardwareVerdict.MAYBE
+
+    @pytest.mark.parametrize("method", OVERLAP_METHODS)
+    def test_near_miss_pair(self, method):
+        hw = make(method, resolution=32)
+        w = intersection_window(TRIANGLE.mbr, NEAR_MISS.mbr)
+        assert (
+            hw.intersection_verdict(TRIANGLE, NEAR_MISS, w)
+            is HardwareVerdict.DISJOINT
+        )
+
+    @pytest.mark.parametrize("method", OVERLAP_METHODS)
+    def test_distance_verdicts(self, method):
+        a = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+        b = Polygon.from_coords([(20, 0), (22, 0), (22, 4), (20, 4)])
+        hw = make(method)
+        w = distance_window(a.mbr, b.mbr, 1.0)
+        assert hw.distance_verdict(a, b, w, 1.0) is HardwareVerdict.DISJOINT
+        w = distance_window(a.mbr, b.mbr, 17.0)
+        assert hw.distance_verdict(a, b, w, 17.0) is HardwareVerdict.MAYBE
+
+    @pytest.mark.parametrize("method", OVERLAP_METHODS)
+    def test_state_restored_between_tests(self, method):
+        """A test must not leak fragment-op state into the next one."""
+        hw = make(method)
+        w = intersection_window(TRIANGLE.mbr, CROSSER.mbr)
+        first = hw.intersection_verdict(TRIANGLE, CROSSER, w)
+        st = hw.pipeline.state
+        assert st.color_write and not st.blend
+        assert st.logic_op is None and st.stencil_op is None
+        assert not st.depth_write and st.depth_test is None
+        assert hw.intersection_verdict(TRIANGLE, CROSSER, w) == first
+
+
+class TestAllMethodsAgree:
+    @settings(max_examples=60, deadline=None)
+    @given(polygon_pairs_nearby(), st.sampled_from([2, 8, 24]))
+    def test_intersection_verdicts_identical(self, pair, resolution):
+        a, b = pair
+        w = intersection_window(a.mbr, b.mbr)
+        if w is None:
+            return
+        verdicts = {
+            method: make(method, resolution).intersection_verdict(a, b, w)
+            for method in OVERLAP_METHODS
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+    @settings(max_examples=40, deadline=None)
+    @given(polygon_pairs_nearby(), st.integers(1, 12))
+    def test_distance_verdicts_identical(self, pair, d_quarters):
+        a, b = pair
+        d = d_quarters / 4.0
+        w = distance_window(a.mbr, b.mbr, d)
+        verdicts = {
+            method: make(method, 8).distance_verdict(a, b, w, d)
+            for method in OVERLAP_METHODS
+        }
+        assert len(set(verdicts.values())) == 1, verdicts
+
+
+class TestEngineEquivalenceAcrossMethods:
+    @settings(max_examples=40, deadline=None)
+    @given(polygon_pairs_nearby())
+    def test_every_method_is_exact(self, pair):
+        a, b = pair
+        expected = SoftwareEngine().polygons_intersect(a, b)
+        for method in OVERLAP_METHODS:
+            engine = HardwareEngine(HardwareConfig(resolution=8, method=method))
+            assert engine.polygons_intersect(a, b) == expected, method

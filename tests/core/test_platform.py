@@ -1,0 +1,86 @@
+"""Tests for the dual-clock 2003-platform cost model."""
+
+import pytest
+
+from repro.core import PLATFORM_2003, HardwareEngine, Platform2003, SoftwareEngine
+from repro.core.stats import RefinementStats
+from repro.geometry import MinDistStats, Polygon, SweepStats
+from repro.gpu import CostCounters
+
+SQUARE = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+CROSS_A = Polygon.from_coords([(0, 1), (6, 1), (6, 2), (0, 2)])
+CROSS_B = Polygon.from_coords([(2, -2), (3, -2), (3, 4), (2, 4)])
+
+
+class TestSoftwareModel:
+    def test_zero_work_zero_time(self):
+        assert (
+            PLATFORM_2003.software_seconds(
+                RefinementStats(), SweepStats(), MinDistStats()
+            )
+            == 0.0
+        )
+
+    def test_linear_in_counters(self):
+        p = Platform2003()
+        one = p.software_seconds(
+            RefinementStats(), SweepStats(edges_processed=1), MinDistStats()
+        )
+        ten = p.software_seconds(
+            RefinementStats(), SweepStats(edges_processed=10), MinDistStats()
+        )
+        assert ten == pytest.approx(10 * one)
+
+    def test_sweep_processing_dominates_scanning(self):
+        """The model must encode the asymmetry the hybrid exploits: a swept
+        edge costs much more than a merely scanned one."""
+        p = Platform2003()
+        assert p.cpu_sweep_edge_us > 5 * p.cpu_scan_edge_us
+        assert p.cpu_sweep_edge_us > 10 * p.cpu_pip_edge_us
+
+
+class TestHardwareModel:
+    def test_zero_counters_zero_time(self):
+        assert PLATFORM_2003.hardware_seconds(CostCounters()) == 0.0
+
+    def test_clipped_edges_still_cost_transform(self):
+        p = Platform2003()
+        rendered = p.hardware_seconds(CostCounters(edges_rendered=100))
+        clipped = p.hardware_seconds(CostCounters(edges_clipped_away=100))
+        assert rendered == pytest.approx(clipped)
+
+    def test_readback_far_costlier_than_minmax(self):
+        p = Platform2003()
+        minmax = p.hardware_seconds(CostCounters(pixels_scanned=256))
+        readback = p.hardware_seconds(
+            CostCounters(pixels_transferred=256, readback_ops=1)
+        )
+        assert readback > 10 * minmax
+
+
+class TestEngineSeconds:
+    def test_software_engine_has_no_gpu_component(self):
+        e = SoftwareEngine()
+        e.polygons_intersect(CROSS_A, CROSS_B)
+        assert PLATFORM_2003.engine_seconds(e) > 0.0
+
+    def test_hardware_engine_includes_gpu(self):
+        e = HardwareEngine()
+        e.polygons_intersect(CROSS_A, CROSS_B)
+        total = PLATFORM_2003.engine_seconds(e)
+        sw_only = PLATFORM_2003.software_seconds(
+            e.stats, e.sweep_stats, e.mindist_stats
+        )
+        assert total > sw_only
+        assert total - sw_only == pytest.approx(
+            PLATFORM_2003.hardware_seconds(e.gpu_counters)
+        )
+
+    def test_deterministic_across_repeats(self):
+        def run():
+            e = HardwareEngine()
+            e.polygons_intersect(CROSS_A, CROSS_B)
+            e.within_distance(SQUARE, CROSS_B, 1.5)
+            return PLATFORM_2003.engine_seconds(e)
+
+        assert run() == run()

@@ -1,0 +1,85 @@
+"""Tests for the projection strategies (paper section 3.2, Figure 7)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core import distance_window, intersection_window, union_window
+from repro.geometry import Rect
+from tests.strategies import rects
+
+
+class TestIntersectionWindow:
+    def test_overlapping(self):
+        got = intersection_window(Rect(0, 0, 4, 4), Rect(2, 2, 8, 8))
+        assert got == Rect(2, 2, 4, 4)
+
+    def test_disjoint_none(self):
+        assert intersection_window(Rect(0, 0, 1, 1), Rect(5, 5, 6, 6)) is None
+
+    def test_touching_degenerate(self):
+        got = intersection_window(Rect(0, 0, 2, 2), Rect(2, 0, 4, 2))
+        assert got == Rect(2, 0, 2, 2)
+
+    @given(rects(), rects())
+    def test_window_contains_all_boundary_crossings(self, a, b):
+        """Any point in both rects is in the window - the restriction's
+        correctness argument."""
+        w = intersection_window(a, b)
+        if w is None:
+            assert not a.intersects(b)
+        else:
+            assert a.contains_rect(w)
+            assert b.contains_rect(w)
+
+
+class TestDistanceWindow:
+    def test_picks_smaller_object(self):
+        small = Rect(0, 0, 1, 1)
+        big = Rect(10, 10, 20, 20)
+        got = distance_window(small, big, 2.0)
+        assert got == Rect(-2, -2, 3, 3)
+        assert distance_window(big, small, 2.0) == got
+
+    def test_ties_pick_first(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(5, 5, 7, 7)
+        assert distance_window(a, b, 1.0) == a.expand(1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            distance_window(Rect(0, 0, 1, 1), Rect(0, 0, 1, 1), -1.0)
+
+    @given(rects(), rects())
+    def test_zero_distance_is_smaller_mbr(self, a, b):
+        got = distance_window(a, b, 0.0)
+        smaller = a if a.area <= b.area else b
+        assert got == smaller
+
+    @given(rects(), rects())
+    def test_window_covers_witness_region(self, a, b):
+        """Every point within d of the smaller MBR lies in the window."""
+        d = 1.5
+        got = distance_window(a, b, d)
+        smaller = a if a.area <= b.area else b
+        assert got.contains_rect(smaller)
+        assert got.xmin == smaller.xmin - d
+        assert got.ymax == smaller.ymax + d
+
+
+class TestUnionWindow:
+    def test_union_covers_both(self):
+        got = union_window(Rect(0, 0, 1, 1), Rect(4, 4, 6, 6))
+        assert got == Rect(0, 0, 6, 6)
+
+    def test_with_slack(self):
+        got = union_window(Rect(0, 0, 1, 1), Rect(4, 4, 6, 6), d=1.0)
+        assert got == Rect(-1, -1, 7, 7)
+
+    @given(rects(), rects())
+    def test_union_window_contains_intersection_window(self, a, b):
+        """The naive window always covers the focused one - it just wastes
+        resolution, which is the point of the ablation."""
+        w = intersection_window(a, b)
+        u = union_window(a, b)
+        if w is not None:
+            assert u.contains_rect(w)

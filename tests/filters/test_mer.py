@@ -1,0 +1,137 @@
+"""Tests for the maximum-enclosed-rectangle filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.mer import (
+    EnclosedRectangleFilter,
+    largest_true_rectangle,
+)
+from repro.geometry import Point, Polygon, polygons_intersect
+from tests.strategies import star_polygons
+
+SQUARE = Polygon.from_coords([(0, 0), (8, 0), (8, 8), (0, 8)])
+C_SHAPE = Polygon.from_coords(
+    [(0, 0), (8, 0), (8, 2), (2, 2), (2, 6), (8, 6), (8, 8), (0, 8)]
+)
+
+
+class TestLargestRectangle:
+    def test_rejects_non_boolean(self):
+        with pytest.raises(ValueError):
+            largest_true_rectangle(np.zeros((2, 2), dtype=np.int8))
+
+    def test_empty_grid(self):
+        assert largest_true_rectangle(np.zeros((3, 3), dtype=bool)) is None
+
+    def test_full_grid(self):
+        assert largest_true_rectangle(np.ones((3, 5), dtype=bool)) == (0, 0, 2, 4)
+
+    def test_single_cell(self):
+        grid = np.zeros((4, 4), dtype=bool)
+        grid[2, 1] = True
+        assert largest_true_rectangle(grid) == (2, 1, 2, 1)
+
+    def test_l_shaped_region(self):
+        grid = np.array(
+            [
+                [1, 1, 0, 0],
+                [1, 1, 0, 0],
+                [1, 1, 1, 1],
+                [1, 1, 1, 1],
+            ],
+            dtype=bool,
+        )
+        r0, c0, r1, c1 = largest_true_rectangle(grid)
+        area = (r1 - r0 + 1) * (c1 - c0 + 1)
+        assert area == 8  # either the 4x2 column or the 2x4 bottom block
+
+    def test_wide_vs_tall(self):
+        grid = np.zeros((6, 6), dtype=bool)
+        grid[0, :] = True  # 1x6 strip
+        grid[2:6, 0:2] = True  # 4x2 block
+        r0, c0, r1, c1 = largest_true_rectangle(grid)
+        assert (r1 - r0 + 1) * (c1 - c0 + 1) == 8
+
+    @settings(max_examples=60)
+    @given(st.integers(0, 10_000))
+    def test_matches_brute_force(self, seed):
+        rng = np.random.default_rng(seed)
+        grid = rng.random((7, 7)) < 0.6
+        got = largest_true_rectangle(grid)
+        best_area = 0
+        for r0 in range(7):
+            for c0 in range(7):
+                for r1 in range(r0, 7):
+                    for c1 in range(c0, 7):
+                        if grid[r0 : r1 + 1, c0 : c1 + 1].all():
+                            best_area = max(
+                                best_area, (r1 - r0 + 1) * (c1 - c0 + 1)
+                            )
+        if best_area == 0:
+            assert got is None
+        else:
+            r0, c0, r1, c1 = got
+            assert grid[r0 : r1 + 1, c0 : c1 + 1].all()
+            assert (r1 - r0 + 1) * (c1 - c0 + 1) == best_area
+
+
+class TestMerConstruction:
+    def test_square_mer_is_large(self):
+        f = EnclosedRectangleFilter([SQUARE], level=3)
+        mer = f.rectangle(0)
+        assert mer is not None
+        assert mer.area >= 0.3 * SQUARE.area
+
+    def test_mer_inside_polygon(self):
+        f = EnclosedRectangleFilter([C_SHAPE], level=4)
+        mer = f.rectangle(0)
+        assert mer is not None
+        for corner in mer.corners():
+            assert C_SHAPE.contains_point(corner)
+        assert C_SHAPE.contains_point(mer.center)
+
+    def test_degenerate_polygon_has_no_mer(self):
+        sliver = Polygon.from_coords([(0, 0), (4, 0), (2, 0)])
+        f = EnclosedRectangleFilter([sliver], level=3)
+        assert f.rectangle(0) is None
+
+    @settings(max_examples=40)
+    @given(star_polygons(min_vertices=6, max_vertices=16))
+    def test_mer_samples_inside(self, poly):
+        f = EnclosedRectangleFilter([poly], level=4)
+        mer = f.rectangle(0)
+        if mer is None:
+            return
+        for fx in (0.0, 0.5, 1.0):
+            for fy in (0.0, 0.5, 1.0):
+                p = Point(
+                    mer.xmin + fx * mer.width, mer.ymin + fy * mer.height
+                )
+                assert poly.contains_point(p)
+
+
+class TestFilterSoundness:
+    def test_known_positive(self):
+        a = EnclosedRectangleFilter([SQUARE], level=3)
+        b = EnclosedRectangleFilter(
+            [Polygon.from_coords([(3, 3), (12, 3), (12, 12), (3, 12)])], level=3
+        )
+        assert a.definite_intersection(0, b, 0)
+        assert a.stats.confirmed == 1
+
+    def test_disjoint_not_confirmed(self):
+        a = EnclosedRectangleFilter([SQUARE], level=3)
+        far = Polygon.from_coords([(20, 20), (28, 20), (28, 28), (20, 28)])
+        b = EnclosedRectangleFilter([far], level=3)
+        assert not a.definite_intersection(0, b, 0)
+
+    @settings(max_examples=60)
+    @given(star_polygons(), star_polygons())
+    def test_positives_are_true_positives(self, pa, pb):
+        a = EnclosedRectangleFilter([pa], level=4)
+        b = EnclosedRectangleFilter([pb], level=4)
+        if a.definite_intersection(0, b, 0):
+            assert polygons_intersect(pa, pb)

@@ -1,0 +1,97 @@
+"""Tests for the three-state rasterization filter (Table 1, [6])."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.filters import (
+    RasterApproximation,
+    RasterFilterStats,
+    TileVerdict,
+    classify_pair,
+)
+from repro.geometry import Point, Polygon, polygons_intersect
+from tests.strategies import polygon_pairs_nearby, star_polygons
+
+SQUARE = Polygon.from_coords([(0, 0), (8, 0), (8, 8), (0, 8)])
+OVERLAPPING = Polygon.from_coords([(4, 4), (12, 4), (12, 12), (4, 12)])
+FAR = Polygon.from_coords([(20, 20), (24, 20), (24, 24), (20, 24)])
+C_SHAPE = Polygon.from_coords(
+    [(0, 0), (8, 0), (8, 2), (2, 2), (2, 6), (8, 6), (8, 8), (0, 8)]
+)
+IN_NOTCH = Polygon.from_coords([(4, 3), (7, 3), (7, 5), (4, 5)])
+
+
+class TestClassification:
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            RasterApproximation(SQUARE, level=-1)
+        with pytest.raises(ValueError):
+            RasterApproximation(SQUARE, level=13)
+
+    def test_square_tiles(self):
+        approx = RasterApproximation(SQUARE, level=2)
+        # Border tiles carry the boundary; the 2x2 center is FULL.
+        assert (approx.grid[1:3, 1:3] == RasterApproximation.FULL).all()
+        assert (approx.grid[0, :] == RasterApproximation.PARTIAL).all()
+
+    def test_full_tiles_inside_polygon(self):
+        approx = RasterApproximation(C_SHAPE, level=4)
+        js, is_ = np.nonzero(approx.grid == RasterApproximation.FULL)
+        for j, i in zip(js, is_):
+            rect = approx.tile_rect(int(j), int(i))
+            for corner in rect.corners():
+                assert C_SHAPE.contains_point(corner)
+
+    def test_empty_tiles_outside_polygon(self):
+        approx = RasterApproximation(C_SHAPE, level=4)
+        js, is_ = np.nonzero(approx.grid == RasterApproximation.EMPTY)
+        for j, i in zip(js, is_):
+            center = approx.tile_rect(int(j), int(i)).center
+            assert not C_SHAPE.contains_point(center)
+
+    def test_degenerate_polygon_all_partial(self):
+        sliver = Polygon.from_coords([(0, 0), (4, 0), (2, 0)])
+        approx = RasterApproximation(sliver, level=2)
+        assert (approx.grid == RasterApproximation.PARTIAL).all()
+
+
+class TestPairVerdicts:
+    def test_overlapping_squares_confirmed(self):
+        a = RasterApproximation(SQUARE, level=3)
+        b = RasterApproximation(OVERLAPPING, level=3)
+        stats = RasterFilterStats()
+        assert classify_pair(a, b, stats) is TileVerdict.INTERSECTING
+        assert stats.intersecting == 1
+
+    def test_far_pair_disjoint(self):
+        a = RasterApproximation(SQUARE, level=3)
+        b = RasterApproximation(FAR, level=3)
+        assert classify_pair(a, b) is TileVerdict.DISJOINT
+
+    def test_notch_pair_unknown_or_disjoint(self):
+        """The notch square overlaps the C's MBR but not its region: the
+        filter must never claim INTERSECTING."""
+        a = RasterApproximation(C_SHAPE, level=4)
+        b = RasterApproximation(IN_NOTCH, level=4)
+        assert classify_pair(a, b) is not TileVerdict.INTERSECTING
+
+    @settings(max_examples=80)
+    @given(polygon_pairs_nearby())
+    def test_verdicts_are_sound(self, pair):
+        pa, pb = pair
+        a = RasterApproximation(pa, level=3)
+        b = RasterApproximation(pb, level=3)
+        verdict = classify_pair(a, b)
+        truth = polygons_intersect(pa, pb)
+        if verdict is TileVerdict.INTERSECTING:
+            assert truth, "INTERSECTING must be a proof"
+        elif verdict is TileVerdict.DISJOINT:
+            assert not truth, "DISJOINT must be a proof"
+
+    @settings(max_examples=40)
+    @given(star_polygons())
+    def test_self_pair_intersecting_when_full_exists(self, poly):
+        approx = RasterApproximation(poly, level=4)
+        if (approx.grid == RasterApproximation.FULL).any():
+            assert classify_pair(approx, approx) is TileVerdict.INTERSECTING

@@ -1,0 +1,120 @@
+"""Tests for the AVL tree used as the sweep status structure."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import AVLTree
+from repro.geometry.avl import AVLNode
+
+
+def int_tree() -> AVLTree:
+    return AVLTree(lambda a, b: a - b)
+
+
+class TestBasics:
+    def test_empty(self):
+        t = int_tree()
+        assert len(t) == 0
+        assert not t
+        assert t.items_in_order() == []
+
+    def test_sorted_order(self):
+        t = int_tree()
+        for v in [5, 1, 9, 3, 7]:
+            t.insert(v)
+        assert t.items_in_order() == [1, 3, 5, 7, 9]
+        t.check_invariants()
+
+    def test_duplicates_allowed(self):
+        t = int_tree()
+        nodes = [t.insert(4) for _ in range(3)]
+        assert len(t) == 3
+        t.remove_node(nodes[1])
+        assert len(t) == 2
+        assert t.items_in_order() == [4, 4]
+
+    def test_remove_by_identity(self):
+        t = int_tree()
+        n1 = t.insert(1)
+        n2 = t.insert(2)
+        n3 = t.insert(3)
+        t.remove_node(n2)
+        assert t.items_in_order() == [1, 3]
+        t.remove_node(n1)
+        t.remove_node(n3)
+        assert len(t) == 0
+        t.check_invariants()
+
+
+class TestNeighbors:
+    def test_predecessor_successor_chain(self):
+        t = int_tree()
+        nodes = {v: t.insert(v) for v in [10, 20, 30, 40, 50]}
+        assert AVLTree.predecessor(nodes[10]) is None
+        assert AVLTree.successor(nodes[50]) is None
+        assert AVLTree.successor(nodes[20]).item == 30
+        assert AVLTree.predecessor(nodes[40]).item == 30
+
+    def test_neighbors_after_removal(self):
+        t = int_tree()
+        nodes = {v: t.insert(v) for v in range(8)}
+        t.remove_node(nodes[4])
+        assert AVLTree.successor(nodes[3]).item == 5
+
+    def test_walk_in_order_via_successor(self):
+        t = int_tree()
+        values = random.Random(7).sample(range(100), 30)
+        node_map = {v: t.insert(v) for v in values}
+        start = node_map[min(values)]
+        seen = []
+        cur = start
+        while cur is not None:
+            seen.append(cur.item)
+            cur = AVLTree.successor(cur)
+        assert seen == sorted(values)
+
+
+class TestBalancing:
+    def test_ascending_insert_stays_logarithmic(self):
+        t = int_tree()
+        for v in range(1024):
+            t.insert(v)
+        t.check_invariants()
+
+        def height(node: AVLNode) -> int:
+            return node.height
+
+        assert height(t._root) <= 12  # 1.44 * log2(1024) + small constant
+
+    def test_descending_insert(self):
+        t = int_tree()
+        for v in range(256, 0, -1):
+            t.insert(v)
+        t.check_invariants()
+        assert t.items_in_order() == list(range(1, 257))
+
+
+class TestRandomizedAgainstModel:
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(0, 50)), min_size=1, max_size=120
+        )
+    )
+    def test_matches_sorted_list_model(self, ops):
+        t = int_tree()
+        model = []
+        live_nodes = []
+        for is_insert, value in ops:
+            if is_insert or not live_nodes:
+                node = t.insert(value)
+                live_nodes.append(node)
+                model.append(value)
+            else:
+                idx = value % len(live_nodes)
+                node = live_nodes.pop(idx)
+                model.remove(node.item)
+                t.remove_node(node)
+            assert sorted(model) == t.items_in_order()
+        t.check_invariants()

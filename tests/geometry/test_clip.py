@@ -1,0 +1,119 @@
+"""Tests for polygon and segment clipping."""
+
+import math
+
+from hypothesis import given
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    Rect,
+    clip_polygon_to_rect,
+    clip_segment_to_rect,
+)
+from tests.strategies import rects, segments, star_polygons
+
+UNIT = Rect(0, 0, 4, 4)
+
+
+def ring_area(pts):
+    if len(pts) < 3:
+        return 0.0
+    total = 0.0
+    prev = pts[-1]
+    for p in pts:
+        total += prev.x * p.y - p.x * prev.y
+        prev = p
+    return abs(total) / 2.0
+
+
+class TestPolygonClip:
+    def test_fully_inside_unchanged(self):
+        ring = [Point(1, 1), Point(2, 1), Point(2, 2)]
+        assert clip_polygon_to_rect(ring, UNIT) == ring
+
+    def test_fully_outside_empty(self):
+        ring = [Point(10, 10), Point(12, 10), Point(11, 12)]
+        assert clip_polygon_to_rect(ring, UNIT) == []
+
+    def test_half_overlapping_square(self):
+        ring = [Point(2, 0), Point(6, 0), Point(6, 4), Point(2, 4)]
+        clipped = clip_polygon_to_rect(ring, UNIT)
+        assert math.isclose(ring_area(clipped), 8.0)
+
+    def test_polygon_covering_rect_clips_to_rect(self):
+        ring = [Point(-10, -10), Point(10, -10), Point(10, 10), Point(-10, 10)]
+        clipped = clip_polygon_to_rect(ring, UNIT)
+        assert math.isclose(ring_area(clipped), UNIT.area)
+
+    def test_triangle_corner_cut(self):
+        ring = [Point(3, 3), Point(7, 3), Point(3, 7)]
+        clipped = clip_polygon_to_rect(ring, UNIT)
+        # The hypotenuse x + y = 10 misses [0,4]^2 entirely, so the clipped
+        # region is the full unit square [3,4]^2.
+        assert math.isclose(ring_area(clipped), 1.0)
+
+    def test_triangle_hypotenuse_cut(self):
+        ring = [Point(3, 3), Point(4.5, 3), Point(3, 4.5)]
+        clipped = clip_polygon_to_rect(ring, UNIT)
+        # Clipped region: {x, y >= 3, x + y <= 7.5, x <= 4, y <= 4} - the
+        # unit square [3,4]^2 minus the corner triangle with legs 0.5.
+        assert math.isclose(ring_area(clipped), 1.0 - 0.125)
+
+    @given(star_polygons(), rects())
+    def test_clipped_area_never_larger(self, poly, rect):
+        clipped = clip_polygon_to_rect(list(poly.vertices), rect)
+        assert ring_area(clipped) <= poly.area + 1e-6
+
+    @given(star_polygons(), rects())
+    def test_clipped_vertices_inside_rect(self, poly, rect):
+        clipped = clip_polygon_to_rect(list(poly.vertices), rect)
+        for p in clipped:
+            assert rect.xmin - 1e-9 <= p.x <= rect.xmax + 1e-9
+            assert rect.ymin - 1e-9 <= p.y <= rect.ymax + 1e-9
+
+
+class TestSegmentClip:
+    def test_inside_unchanged(self):
+        got = clip_segment_to_rect(Point(1, 1), Point(3, 3), UNIT)
+        assert got == (Point(1, 1), Point(3, 3))
+
+    def test_outside_none(self):
+        assert clip_segment_to_rect(Point(5, 5), Point(8, 8), UNIT) is None
+
+    def test_crossing_clipped_to_chord(self):
+        got = clip_segment_to_rect(Point(-2, 2), Point(6, 2), UNIT)
+        assert got == (Point(0, 2), Point(4, 2))
+
+    def test_diagonal_through_corner(self):
+        got = clip_segment_to_rect(Point(-1, -1), Point(5, 5), UNIT)
+        assert got == (Point(0, 0), Point(4, 4))
+
+    def test_touching_edge_degenerate(self):
+        got = clip_segment_to_rect(Point(4, 2), Point(8, 2), UNIT)
+        assert got is not None
+        p0, p1 = got
+        assert p0 == p1 == Point(4, 2)
+
+    def test_parallel_outside_none(self):
+        assert clip_segment_to_rect(Point(-1, 5), Point(5, 5), UNIT) is None
+
+    @given(segments(), rects())
+    def test_clip_endpoints_inside(self, seg, rect):
+        got = clip_segment_to_rect(*seg, rect)
+        if got is None:
+            return
+        for p in got:
+            assert rect.xmin - 1e-9 <= p.x <= rect.xmax + 1e-9
+            assert rect.ymin - 1e-9 <= p.y <= rect.ymax + 1e-9
+
+    @given(segments(), rects())
+    def test_clip_none_iff_no_midpoint_samples_inside(self, seg, rect):
+        got = clip_segment_to_rect(*seg, rect)
+        a, b = seg
+        samples_inside = any(
+            rect.contains_point(Point(a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)))
+            for t in [k / 16.0 for k in range(17)]
+        )
+        if samples_inside:
+            assert got is not None

@@ -1,0 +1,116 @@
+"""Tests for the ray-crossing point-in-polygon test."""
+
+import pytest
+from hypothesis import given
+
+from repro.geometry import Point, PointLocation, Polygon, locate_point
+from repro.geometry.point_in_polygon import (
+    _debug_location_by_sampling,
+    any_vertex_inside,
+    point_in_polygon,
+    point_strictly_in_polygon,
+)
+from tests.strategies import arbitrary_polygons, points, star_polygons
+
+SQUARE = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+# Concave "C" shape opening to the right.
+C_SHAPE = [
+    Point(0, 0),
+    Point(4, 0),
+    Point(4, 1),
+    Point(1, 1),
+    Point(1, 3),
+    Point(4, 3),
+    Point(4, 4),
+    Point(0, 4),
+]
+BOWTIE = [Point(0, 0), Point(2, 2), Point(2, 0), Point(0, 2)]
+
+
+class TestSquare:
+    def test_center_inside(self):
+        assert locate_point(Point(2, 2), SQUARE) is PointLocation.INSIDE
+
+    def test_outside(self):
+        assert locate_point(Point(5, 2), SQUARE) is PointLocation.OUTSIDE
+        assert locate_point(Point(2, -1), SQUARE) is PointLocation.OUTSIDE
+
+    def test_edge_is_boundary(self):
+        assert locate_point(Point(4, 2), SQUARE) is PointLocation.BOUNDARY
+        assert locate_point(Point(2, 0), SQUARE) is PointLocation.BOUNDARY
+
+    def test_vertex_is_boundary(self):
+        assert locate_point(Point(0, 0), SQUARE) is PointLocation.BOUNDARY
+
+    def test_ray_through_vertex_no_double_count(self):
+        # Upward ray from below a vertex: classic failure mode of naive
+        # crossing counters.
+        diamond = [Point(0, 2), Point(2, 0), Point(4, 2), Point(2, 4)]
+        assert locate_point(Point(2, 1), diamond) is PointLocation.INSIDE
+        assert locate_point(Point(2, -1), diamond) is PointLocation.OUTSIDE
+
+
+class TestConcave:
+    def test_notch_is_outside(self):
+        assert locate_point(Point(3, 2), C_SHAPE) is PointLocation.OUTSIDE
+
+    def test_arms_are_inside(self):
+        assert locate_point(Point(2, 0.5), C_SHAPE) is PointLocation.INSIDE
+        assert locate_point(Point(2, 3.5), C_SHAPE) is PointLocation.INSIDE
+        assert locate_point(Point(0.5, 2), C_SHAPE) is PointLocation.INSIDE
+
+
+class TestNonSimple:
+    def test_bowtie_even_odd(self):
+        # Left triangle interior.
+        assert locate_point(Point(0.5, 1.0), BOWTIE) is PointLocation.INSIDE
+        # The crossing point region: center of the X is on the boundary.
+        assert locate_point(Point(1, 1), BOWTIE) is PointLocation.BOUNDARY
+        assert locate_point(Point(3, 1), BOWTIE) is PointLocation.OUTSIDE
+
+
+class TestHelpers:
+    def test_too_few_vertices_raises(self):
+        with pytest.raises(ValueError):
+            locate_point(Point(0, 0), [Point(0, 0), Point(1, 1)])
+
+    def test_point_in_polygon_includes_boundary(self):
+        assert point_in_polygon(Point(0, 0), SQUARE)
+        assert not point_strictly_in_polygon(Point(0, 0), SQUARE)
+        assert point_strictly_in_polygon(Point(2, 2), SQUARE)
+
+    def test_any_vertex_inside(self):
+        inner = [Point(1, 1), Point(2, 1), Point(2, 2)]
+        assert any_vertex_inside(inner, SQUARE)
+        outer = [Point(10, 10), Point(11, 10), Point(11, 11)]
+        assert not any_vertex_inside(outer, SQUARE)
+
+
+class TestProperties:
+    @given(star_polygons(), points)
+    def test_matches_reference_on_simple(self, poly, p):
+        assert locate_point(p, poly.vertices) == _debug_location_by_sampling(
+            p, poly.vertices
+        )
+
+    @given(arbitrary_polygons(), points)
+    def test_matches_reference_on_arbitrary(self, poly, p):
+        assert locate_point(p, poly.vertices) == _debug_location_by_sampling(
+            p, poly.vertices
+        )
+
+    @given(star_polygons())
+    def test_vertices_are_boundary(self, poly):
+        for v in poly.vertices:
+            assert locate_point(v, poly.vertices) is PointLocation.BOUNDARY
+
+    @given(star_polygons(), points)
+    def test_outside_mbr_is_outside(self, poly, p):
+        if not poly.mbr.contains_point(p):
+            assert locate_point(p, poly.vertices) is PointLocation.OUTSIDE
+
+    @given(star_polygons(), points)
+    def test_polygon_method_agrees(self, poly, p):
+        assert poly.contains_point(p) == (
+            locate_point(p, poly.vertices) is not PointLocation.OUTSIDE
+        )

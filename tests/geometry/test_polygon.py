@@ -1,0 +1,155 @@
+"""Tests for the Polygon container and its measures."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.geometry import Point, Polygon, Rect, rect_to_polygon
+from tests.strategies import star_polygons
+
+SQUARE = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+
+
+class TestConstruction:
+    def test_needs_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([Point(0, 0), Point(1, 1)])
+
+    def test_from_coords(self):
+        p = Polygon.from_coords([(0, 0), (1, 0), (0, 1)])
+        assert p.vertices == (Point(0, 0), Point(1, 0), Point(0, 1))
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            SQUARE._mbr = None
+
+    def test_len_and_num_vertices(self):
+        assert len(SQUARE) == 4
+        assert SQUARE.num_vertices == 4
+
+    def test_equality_and_hash(self):
+        other = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert SQUARE == other
+        assert hash(SQUARE) == hash(other)
+        assert SQUARE != SQUARE.reversed()
+
+
+class TestAccessors:
+    def test_mbr(self):
+        assert SQUARE.mbr == Rect(0, 0, 4, 4)
+
+    def test_edges_close_the_ring(self):
+        edges = list(SQUARE.edges())
+        assert len(edges) == 4
+        assert edges[0] == (Point(0, 4), Point(0, 0))
+        # Every edge's end is the next edge's start.
+        for k in range(4):
+            assert edges[k][1] == edges[(k + 1) % 4][0]
+
+    def test_edge_segments(self):
+        segs = SQUARE.edge_segments()
+        assert len(segs) == 4
+        assert segs[0].p0 == Point(0, 4)
+
+    def test_coords(self):
+        assert SQUARE.coords() == [(0, 0), (4, 0), (4, 4), (0, 4)]
+
+    def test_coords_array_cached_and_readonly(self):
+        a1 = SQUARE.coords_array
+        a2 = SQUARE.coords_array
+        assert a1 is a2
+        assert a1.shape == (4, 2)
+        with pytest.raises(ValueError):
+            a1[0, 0] = 99.0
+
+    def test_edges_array_matches_edges(self):
+        arr = SQUARE.edges_array
+        assert arr.shape == (4, 4)
+        for row, (a, b) in zip(arr, SQUARE.edges()):
+            assert tuple(row) == (a.x, a.y, b.x, b.y)
+        with pytest.raises(ValueError):
+            arr[0, 0] = 99.0
+
+
+class TestMeasures:
+    def test_signed_area_ccw_positive(self):
+        assert SQUARE.signed_area == 16.0
+        assert SQUARE.is_ccw
+
+    def test_signed_area_cw_negative(self):
+        assert SQUARE.reversed().signed_area == -16.0
+        assert not SQUARE.reversed().is_ccw
+
+    def test_area_abs(self):
+        assert SQUARE.reversed().area == 16.0
+
+    def test_perimeter(self):
+        assert SQUARE.perimeter == 16.0
+
+    def test_centroid_square(self):
+        assert SQUARE.centroid == Point(2, 2)
+
+    def test_centroid_degenerate_ring(self):
+        sliver = Polygon.from_coords([(0, 0), (2, 0), (1, 0)])
+        c = sliver.centroid
+        assert c == Point(1, 0)
+
+    def test_l_shape_area(self):
+        l_shape = Polygon.from_coords(
+            [(0, 0), (2, 0), (2, 1), (1, 1), (1, 2), (0, 2)]
+        )
+        assert l_shape.area == 3.0
+
+
+class TestDerived:
+    def test_translated(self):
+        moved = SQUARE.translated(1, -1)
+        assert moved.mbr == Rect(1, -1, 5, 3)
+
+    def test_scaled_about_center(self):
+        grown = SQUARE.scaled(2.0)
+        assert grown.mbr == Rect(-2, -2, 6, 6)
+
+    def test_scaled_about_origin(self):
+        grown = SQUARE.scaled(2.0, origin=Point(0, 0))
+        assert grown.mbr == Rect(0, 0, 8, 8)
+
+    def test_rect_to_polygon(self):
+        poly = rect_to_polygon(Rect(0, 0, 2, 3))
+        assert poly.area == 6.0
+        assert poly.is_ccw
+
+
+class TestProperties:
+    @given(star_polygons())
+    def test_mbr_contains_all_vertices(self, poly):
+        for v in poly.vertices:
+            assert poly.mbr.contains_point(v)
+
+    @given(star_polygons())
+    def test_reversal_negates_signed_area(self, poly):
+        assert poly.signed_area == -poly.reversed().signed_area
+
+    @given(star_polygons())
+    def test_translation_preserves_area(self, poly):
+        moved = poly.translated(3.25, -1.5)
+        assert np.isclose(moved.area, poly.area)
+
+    @given(star_polygons())
+    def test_scaling_scales_area_quadratically(self, poly):
+        grown = poly.scaled(2.0)
+        assert np.isclose(grown.area, poly.area * 4.0)
+
+    @given(star_polygons())
+    def test_centroid_inside_mbr(self, poly):
+        c = poly.centroid
+        mbr = poly.mbr
+        assert mbr.xmin - 1e-9 <= c.x <= mbr.xmax + 1e-9
+        assert mbr.ymin - 1e-9 <= c.y <= mbr.ymax + 1e-9
+
+    @given(star_polygons())
+    def test_edges_array_consistent_with_coords_array(self, poly):
+        edges = poly.edges_array
+        coords = poly.coords_array
+        assert np.array_equal(edges[:, 2:], coords)
+        assert np.array_equal(edges[:, :2], np.roll(coords, 1, axis=0))

@@ -1,0 +1,187 @@
+"""Unit and property tests for the low-level geometric predicates."""
+
+from hypothesis import given
+
+from repro.geometry import (
+    Orientation,
+    Point,
+    collinear_overlap,
+    cross,
+    on_segment,
+    orientation,
+    segment_intersection_point,
+    segments_intersect,
+    segments_intersect_properly,
+)
+from tests.strategies import points, segments
+
+
+class TestOrientation:
+    def test_counterclockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 0), Point(1, 1))
+            is Orientation.COUNTERCLOCKWISE
+        )
+
+    def test_clockwise(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 1), Point(1, 0))
+            is Orientation.CLOCKWISE
+        )
+
+    def test_collinear(self):
+        assert (
+            orientation(Point(0, 0), Point(1, 1), Point(2, 2))
+            is Orientation.COLLINEAR
+        )
+
+    def test_cross_sign_matches(self):
+        assert cross(Point(0, 0), Point(1, 0), Point(0, 1)) > 0
+        assert cross(Point(0, 0), Point(0, 1), Point(1, 0)) < 0
+
+    @given(points, points, points)
+    def test_reversal_flips_orientation(self, a, b, c):
+        assert orientation(a, b, c) == -orientation(c, b, a)
+
+    @given(points, points, points)
+    def test_cyclic_shift_preserves_orientation(self, a, b, c):
+        assert orientation(a, b, c) == orientation(b, c, a)
+
+
+class TestOnSegment:
+    def test_interior_point(self):
+        assert on_segment(Point(1, 1), Point(0, 0), Point(2, 2))
+
+    def test_endpoints(self):
+        assert on_segment(Point(0, 0), Point(0, 0), Point(2, 2))
+        assert on_segment(Point(2, 2), Point(0, 0), Point(2, 2))
+
+    def test_collinear_but_outside(self):
+        assert not on_segment(Point(3, 3), Point(0, 0), Point(2, 2))
+
+    def test_off_line(self):
+        assert not on_segment(Point(1, 0), Point(0, 0), Point(2, 2))
+
+    def test_degenerate_segment(self):
+        assert on_segment(Point(1, 1), Point(1, 1), Point(1, 1))
+        assert not on_segment(Point(1, 2), Point(1, 1), Point(1, 1))
+
+
+class TestSegmentsIntersect:
+    def test_proper_crossing(self):
+        assert segments_intersect(Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0))
+        assert segments_intersect_properly(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+
+    def test_t_junction_improper(self):
+        # q1q2 ends on the interior of p1p2.
+        assert segments_intersect(Point(0, 0), Point(4, 0), Point(2, 0), Point(2, 3))
+        assert not segments_intersect_properly(
+            Point(0, 0), Point(4, 0), Point(2, 0), Point(2, 3)
+        )
+
+    def test_shared_endpoint_improper(self):
+        assert segments_intersect(Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0))
+        assert not segments_intersect_properly(
+            Point(0, 0), Point(1, 1), Point(1, 1), Point(2, 0)
+        )
+
+    def test_collinear_overlap_counts(self):
+        assert segments_intersect(Point(0, 0), Point(3, 0), Point(2, 0), Point(5, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        )
+
+    def test_parallel_non_collinear(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(2, 0), Point(0, 1), Point(2, 1)
+        )
+
+    def test_clearly_disjoint(self):
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 0), Point(0, 2), Point(1, 2)
+        )
+
+    def test_near_miss_crossing_beyond_endpoint(self):
+        # The infinite lines cross, the segments do not.
+        assert not segments_intersect(
+            Point(0, 0), Point(1, 1), Point(3, 0), Point(0, 3)
+        )
+
+    @given(segments(), segments())
+    def test_symmetric(self, s1, s2):
+        assert segments_intersect(*s1, *s2) == segments_intersect(*s2, *s1)
+
+    @given(segments(), segments())
+    def test_orientation_independent(self, s1, s2):
+        assert segments_intersect(*s1, *s2) == segments_intersect(
+            s1[1], s1[0], s2[1], s2[0]
+        )
+
+    @given(segments(), segments())
+    def test_proper_implies_improper(self, s1, s2):
+        if segments_intersect_properly(*s1, *s2):
+            assert segments_intersect(*s1, *s2)
+
+
+class TestIntersectionPoint:
+    def test_proper_crossing_point(self):
+        p = segment_intersection_point(
+            Point(0, 0), Point(2, 2), Point(0, 2), Point(2, 0)
+        )
+        assert p == Point(1, 1)
+
+    def test_disjoint_returns_none(self):
+        assert (
+            segment_intersection_point(
+                Point(0, 0), Point(1, 0), Point(0, 1), Point(1, 1)
+            )
+            is None
+        )
+
+    def test_collinear_overlap_returns_witness(self):
+        p = segment_intersection_point(
+            Point(0, 0), Point(3, 0), Point(2, 0), Point(5, 0)
+        )
+        assert p is not None
+        assert on_segment(p, Point(0, 0), Point(3, 0))
+        assert on_segment(p, Point(2, 0), Point(5, 0))
+
+    @given(segments(), segments())
+    def test_witness_iff_intersect(self, s1, s2):
+        witness = segment_intersection_point(*s1, *s2)
+        intersects = segments_intersect(*s1, *s2)
+        assert (witness is not None) == intersects
+        if witness is not None:
+            # The witness must (approximately) lie on both segments.
+            from repro.geometry import point_segment_distance
+
+            assert point_segment_distance(witness, *s1) < 1e-6
+            assert point_segment_distance(witness, *s2) < 1e-6
+
+
+class TestCollinearOverlap:
+    def test_overlap_extent(self):
+        got = collinear_overlap(Point(0, 0), Point(3, 0), Point(2, 0), Point(5, 0))
+        assert got == (Point(2, 0), Point(3, 0))
+
+    def test_touching_endpoint_degenerate_overlap(self):
+        got = collinear_overlap(Point(0, 0), Point(2, 0), Point(2, 0), Point(4, 0))
+        assert got == (Point(2, 0), Point(2, 0))
+
+    def test_vertical_overlap(self):
+        got = collinear_overlap(Point(1, 0), Point(1, 4), Point(1, 3), Point(1, 6))
+        assert got == (Point(1, 3), Point(1, 4))
+
+    def test_non_collinear_returns_none(self):
+        assert collinear_overlap(
+            Point(0, 0), Point(2, 0), Point(0, 1), Point(2, 1)
+        ) is None
+
+    def test_collinear_disjoint_returns_none(self):
+        assert collinear_overlap(
+            Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)
+        ) is None

@@ -1,0 +1,116 @@
+"""Tests for Douglas-Peucker simplification."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    point_segment_distance,
+    simplify_chain,
+    simplify_polygon,
+)
+from tests.strategies import star_polygons
+
+
+class TestChain:
+    def test_rejects_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            simplify_chain([Point(0, 0), Point(1, 1)], -0.1)
+
+    def test_short_chains_unchanged(self):
+        pts = [Point(0, 0), Point(5, 5)]
+        assert simplify_chain(pts, 1.0) == pts
+
+    def test_collinear_interior_dropped(self):
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0), Point(3, 0)]
+        assert simplify_chain(pts, 0.0) == [Point(0, 0), Point(3, 0)]
+
+    def test_significant_bend_kept(self):
+        pts = [Point(0, 0), Point(2, 3), Point(4, 0)]
+        assert simplify_chain(pts, 1.0) == pts
+
+    def test_small_wiggle_dropped(self):
+        pts = [Point(0, 0), Point(2, 0.05), Point(4, 0)]
+        assert simplify_chain(pts, 0.1) == [Point(0, 0), Point(4, 0)]
+
+    def test_endpoints_always_kept(self):
+        pts = [Point(0, 0), Point(1, 8), Point(2, -8), Point(3, 0)]
+        out = simplify_chain(pts, 100.0)
+        assert out[0] == pts[0] and out[-1] == pts[-1]
+
+    @settings(max_examples=60)
+    @given(star_polygons(min_vertices=6, max_vertices=24),
+           st.floats(min_value=0.01, max_value=2.0))
+    def test_kept_points_are_subset_in_order(self, poly, tol):
+        pts = list(poly.vertices)
+        out = simplify_chain(pts, tol)
+        it = iter(pts)
+        assert all(p in it for p in out), "output must be an ordered subset"
+
+    @settings(max_examples=60)
+    @given(star_polygons(min_vertices=6, max_vertices=24),
+           st.floats(min_value=0.01, max_value=2.0))
+    def test_error_bound(self, poly, tol):
+        """Every dropped vertex is within tolerance of the kept chain."""
+        pts = list(poly.vertices)
+        out = simplify_chain(pts, tol)
+        kept_idx = []
+        j = 0
+        for i, p in enumerate(pts):
+            if j < len(out) and p == out[j]:
+                kept_idx.append(i)
+                j += 1
+        for a, b in zip(kept_idx, kept_idx[1:]):
+            for i in range(a + 1, b):
+                d = point_segment_distance(pts[i], pts[a], pts[b])
+                assert d <= tol + 1e-9
+
+
+class TestPolygon:
+    def test_zero_tolerance_identity(self):
+        poly = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4), (0, 2)])
+        assert simplify_polygon(poly, 0.0) == poly
+
+    def test_triangle_unchanged(self):
+        tri = Polygon.from_coords([(0, 0), (4, 0), (2, 3)])
+        assert simplify_polygon(tri, 10.0) == tri
+
+    def test_wiggly_square_simplifies(self):
+        coords = []
+        for i in range(40):
+            t = i / 40.0
+            coords.append((t * 8.0, 0.02 * ((-1) ** i)))
+        coords += [(8, 8), (0, 8)]
+        poly = Polygon.from_coords(coords)
+        out = simplify_polygon(poly, 0.1)
+        assert out.num_vertices < poly.num_vertices
+        assert out.num_vertices >= 3
+
+    def test_huge_tolerance_keeps_valid_ring(self):
+        poly = Polygon.from_coords(
+            [(0, 0), (2, 0.1), (4, 0), (4.1, 2), (4, 4), (2, 4.1), (0, 4)]
+        )
+        out = simplify_polygon(poly, 1e6)
+        assert out.num_vertices >= 3
+
+    @settings(max_examples=60)
+    @given(star_polygons(min_vertices=8, max_vertices=32),
+           st.floats(min_value=0.05, max_value=1.0))
+    def test_vertex_count_monotone_and_area_close(self, poly, tol):
+        out = simplify_polygon(poly, tol)
+        assert 3 <= out.num_vertices <= poly.num_vertices
+        assert set(out.vertices) <= set(poly.vertices)
+        # Area drifts at most by (perimeter * tolerance) - the band swept
+        # by moving every boundary point at most `tol`.
+        assert abs(out.area - poly.area) <= poly.perimeter * tol + 1e-9
+
+    @settings(max_examples=40)
+    @given(star_polygons(min_vertices=8, max_vertices=24))
+    def test_monotone_in_tolerance(self, poly):
+        small = simplify_polygon(poly, 0.05).num_vertices
+        large = simplify_polygon(poly, 1.0).num_vertices
+        assert large <= small

@@ -1,0 +1,127 @@
+"""Tests for the red-blue boundary sweep (software segment intersection test)."""
+
+from hypothesis import given, settings
+
+from repro.geometry import (
+    Point,
+    Polygon,
+    SweepStats,
+    boundaries_intersect,
+    boundaries_intersect_brute_force,
+    polygons_intersect,
+)
+from tests.strategies import arbitrary_polygons, polygon_pairs_nearby, star_polygons
+
+SQUARE = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+SHIFTED = Polygon.from_coords([(2, 2), (6, 2), (6, 6), (2, 6)])
+FAR = Polygon.from_coords([(10, 10), (12, 10), (12, 12), (10, 12)])
+INNER = Polygon.from_coords([(1, 1), (3, 1), (3, 3), (1, 3)])
+
+
+class TestBoundariesIntersect:
+    def test_overlapping_squares(self):
+        assert boundaries_intersect(SQUARE, SHIFTED)
+
+    def test_disjoint(self):
+        assert not boundaries_intersect(SQUARE, FAR)
+
+    def test_contained_boundaries_do_not_touch(self):
+        # Containment is invisible to the boundary test by design.
+        assert not boundaries_intersect(SQUARE, INNER)
+
+    def test_touching_corner(self):
+        corner = Polygon.from_coords([(4, 4), (6, 4), (6, 6), (4, 6)])
+        assert boundaries_intersect(SQUARE, corner)
+
+    def test_shared_edge(self):
+        neighbor = Polygon.from_coords([(4, 0), (8, 0), (8, 4), (4, 4)])
+        assert boundaries_intersect(SQUARE, neighbor)
+
+    def test_restriction_equivalent(self):
+        pairs = [(SQUARE, SHIFTED), (SQUARE, FAR), (SQUARE, INNER)]
+        for a, b in pairs:
+            assert boundaries_intersect(a, b, True) == boundaries_intersect(
+                a, b, False
+            )
+
+    def test_stats_populated(self):
+        stats = SweepStats()
+        boundaries_intersect(SQUARE, SHIFTED, stats=stats)
+        assert stats.edges_considered == 8
+        assert stats.edges_after_restriction <= 8
+        assert stats.intersections_found == 1
+
+    def test_restriction_reduces_edges(self):
+        # A long thin polygon crossing a big one: most edges lie outside the
+        # MBR intersection window.
+        big = Polygon.from_coords([(0, 0), (100, 0), (100, 10), (0, 10)])
+        zig = Polygon.from_coords(
+            [(50, -5), (51, -5)]
+            + [(51 + k * 0.01, 20 + (k % 2)) for k in range(50)]
+        )
+        stats_restricted = SweepStats()
+        boundaries_intersect(big, zig, True, stats_restricted)
+        stats_full = SweepStats()
+        boundaries_intersect(big, zig, False, stats_full)
+        assert (
+            stats_restricted.edges_after_restriction
+            < stats_full.edges_after_restriction
+        )
+
+    @settings(max_examples=150)
+    @given(polygon_pairs_nearby())
+    def test_agrees_with_brute_force(self, pair):
+        a, b = pair
+        expected = boundaries_intersect_brute_force(a, b)
+        assert boundaries_intersect(a, b, True) == expected
+        assert boundaries_intersect(a, b, False) == expected
+
+    @given(arbitrary_polygons(), arbitrary_polygons())
+    def test_nonsimple_agrees_with_brute_force(self, a, b):
+        expected = boundaries_intersect_brute_force(a, b)
+        assert boundaries_intersect(a, b) == expected
+
+    @given(star_polygons())
+    def test_self_pair_intersects(self, poly):
+        # A polygon's boundary trivially intersects itself.
+        assert boundaries_intersect(poly, poly)
+
+
+class TestPolygonsIntersect:
+    def test_containment_is_intersection(self):
+        assert polygons_intersect(SQUARE, INNER)
+        assert polygons_intersect(INNER, SQUARE)
+
+    def test_overlap(self):
+        assert polygons_intersect(SQUARE, SHIFTED)
+
+    def test_disjoint(self):
+        assert not polygons_intersect(SQUARE, FAR)
+
+    def test_mbr_overlap_but_disjoint(self):
+        # L-shaped polygon whose MBR overlaps the small square's MBR while
+        # the polygons themselves are disjoint.
+        l_shape = Polygon.from_coords(
+            [(0, 0), (10, 0), (10, 1), (1, 1), (1, 10), (0, 10)]
+        )
+        probe = Polygon.from_coords([(5, 5), (7, 5), (7, 7), (5, 7)])
+        assert not polygons_intersect(l_shape, probe)
+        assert l_shape.mbr.intersects(probe.mbr)
+
+    def test_vertex_touch(self):
+        touching = Polygon.from_coords([(4, 4), (5, 5), (4, 6)])
+        assert polygons_intersect(SQUARE, touching)
+
+    @settings(max_examples=150)
+    @given(polygon_pairs_nearby())
+    def test_reference_equivalence(self, pair):
+        a, b = pair
+        expected = boundaries_intersect_brute_force(a, b) or (
+            a.contains_point(b.vertices[0]) or b.contains_point(a.vertices[0])
+        )
+        assert polygons_intersect(a, b) == expected
+
+    @given(polygon_pairs_nearby())
+    def test_symmetric(self, pair):
+        a, b = pair
+        assert polygons_intersect(a, b) == polygons_intersect(b, a)

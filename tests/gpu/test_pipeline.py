@@ -1,0 +1,176 @@
+"""Tests for the GraphicsPipeline: projection, state, limits, counters."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rect
+from repro.gpu import DeviceLimits, GraphicsPipeline
+
+
+class TestConstruction:
+    def test_square_default(self):
+        pl = GraphicsPipeline(8)
+        assert pl.width == 8 and pl.height == 8
+
+    def test_rectangular(self):
+        pl = GraphicsPipeline(8, 4)
+        assert pl.width == 8 and pl.height == 4
+
+    def test_viewport_limit(self):
+        with pytest.raises(ValueError):
+            GraphicsPipeline(4096)
+
+    def test_min_size(self):
+        with pytest.raises(ValueError):
+            GraphicsPipeline(0)
+
+
+class TestProjection:
+    def test_uniform_scale_uses_long_side(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 16, 4))
+        assert pl.scale == 0.5  # 8 px over 16 units
+        assert pl.data_to_window(16, 4) == (8.0, 2.0)
+
+    def test_offset_maps_min_corner_to_origin(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(-2, 3, 6, 11))
+        assert pl.data_to_window(-2, 3) == (0.0, 0.0)
+
+    def test_degenerate_window_scale_one(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(5, 5, 5, 5))
+        assert pl.scale == 1.0
+        assert pl.data_to_window(5, 5) == (0.0, 0.0)
+
+    def test_distance_to_pixels(self):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0, 0, 4, 4))
+        assert pl.distance_to_pixels(1.0) == 4.0
+
+    def test_equation_1_line_width(self):
+        """LineWidth = ceil(D * n / max(w, h))."""
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 10, 5))
+        # D = 1.3 -> 1.3 * 8 / 10 = 1.04 -> ceil = 2
+        assert pl.line_width_for_distance(1.3) == 2
+        # Tiny distances still get a 1-pixel-wide line (conservative floor).
+        assert pl.line_width_for_distance(1e-9) == 1
+
+
+class TestDrawAndCounters:
+    def test_draw_updates_counters(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.draw_polygon_edges([(1, 1), (6, 1), (6, 6), (1, 6)])
+        assert pl.counters.draw_calls == 1
+        assert pl.counters.edges_rendered == 4
+        assert pl.counters.pixels_written > 0
+
+    def test_clipping_counts_rejected_edges(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        # Square far outside the window.
+        pl.draw_polygon_edges([(100, 100), (105, 100), (105, 105), (100, 105)])
+        assert pl.counters.edges_rendered == 0
+        assert pl.counters.edges_clipped_away == 4
+        assert pl.fb.color.sum() == 0.0
+
+    def test_open_chain_has_n_minus_1_edges(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.draw_polygon_edges([(1, 1), (6, 1), (6, 6)], closed=False)
+        assert pl.counters.edges_rendered + pl.counters.edges_clipped_away == 2
+
+    def test_draw_edges_array_equivalent_to_coords(self):
+        coords = [(1.0, 1.0), (6.0, 1.0), (6.0, 6.0), (1.0, 6.0)]
+        pl1 = GraphicsPipeline(8)
+        pl1.set_data_window(Rect(0, 0, 8, 8))
+        pl1.draw_polygon_edges(coords)
+        pl2 = GraphicsPipeline(8)
+        pl2.set_data_window(Rect(0, 0, 8, 8))
+        arr = np.array(coords)
+        edges = np.hstack([np.roll(arr, 1, axis=0), arr])
+        pl2.draw_edges_array(edges)
+        assert np.array_equal(pl1.fb.color, pl2.fb.color)
+
+    def test_bad_coords_rejected(self):
+        pl = GraphicsPipeline(8)
+        with pytest.raises(ValueError):
+            pl.draw_polygon_edges([(1, 1)])
+
+    def test_minmax_counts_scanned_pixels(self):
+        pl = GraphicsPipeline(4)
+        pl.minmax("color")
+        assert pl.counters.minmax_ops == 1
+        assert pl.counters.pixels_scanned == 16
+
+    def test_read_pixels_counts_transfer(self):
+        pl = GraphicsPipeline(4)
+        pl.read_pixels("color")
+        assert pl.counters.readback_ops == 1
+        assert pl.counters.pixels_transferred == 16
+
+    def test_clear_counters(self):
+        pl = GraphicsPipeline(4)
+        pl.clear_color()
+        pl.clear_accum()
+        assert pl.counters.buffer_clears == 2
+        assert pl.counters.pixels_cleared == 32
+
+    def test_draw_point_basic_and_wide(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.state.point_size = 1.0
+        pl.draw_point(3.3, 4.7)
+        assert pl.fb.color[4, 3] == pl.state.color
+        pl.state.point_size = 3.0
+        pl.draw_point(3.5, 4.5)
+        assert pl.counters.points_rendered == 2
+
+    def test_draw_filled_polygon(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.state.color = 1.0
+        pl.draw_filled_polygon([(1, 1), (5, 1), (5, 5), (1, 5)])
+        assert pl.fb.color[2, 2] == 1.0
+        assert pl.fb.color[6, 6] == 0.0
+
+
+class TestDeviceLimits:
+    def test_aa_width_limit_enforced(self):
+        pl = GraphicsPipeline(8)
+        pl.state.line_width = 11.0  # above the GeForce4-era limit of 10
+        with pytest.raises(ValueError):
+            pl.draw_polygon_edges([(0, 0), (1, 0), (1, 1)])
+
+    def test_point_size_limit_enforced(self):
+        pl = GraphicsPipeline(8)
+        pl.state.point_size = 20.0
+        with pytest.raises(ValueError):
+            pl.draw_polygon_edges([(0, 0), (1, 0), (1, 1)])
+
+    def test_custom_limits(self):
+        limits = DeviceLimits(max_aa_line_width=64.0, max_point_size=64.0)
+        pl = GraphicsPipeline(8, limits=limits)
+        pl.state.line_width = 32.0
+        pl.state.point_size = 32.0
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.draw_polygon_edges([(0, 0), (4, 0), (4, 4)])  # must not raise
+
+    def test_supports_line_width(self):
+        limits = DeviceLimits()
+        assert limits.supports_line_width(10.0)
+        assert not limits.supports_line_width(10.5)
+        assert not limits.supports_line_width(0.0)
+
+    def test_scale_and_window_roundtrip(self):
+        pl = GraphicsPipeline(16)
+        window = Rect(2, 3, 10, 7)
+        pl.set_data_window(window)
+        assert pl.window == window
+        x, y = pl.data_to_window(6.0, 5.0)
+        assert math.isclose(x, (6.0 - 2.0) * pl.scale)
+        assert math.isclose(y, (5.0 - 3.0) * pl.scale)

@@ -1,0 +1,90 @@
+"""Tests for the discrete Voronoi diagram (Hoff et al. [12] simulation)."""
+
+import numpy as np
+import pytest
+
+from repro.gpu.voronoi import discrete_voronoi, site_distances_at
+
+
+def masks(shape, *pixel_lists):
+    out = []
+    for pixels in pixel_lists:
+        m = np.zeros(shape, dtype=bool)
+        for j, i in pixels:
+            m[j, i] = True
+        out.append(m)
+    return out
+
+
+class TestValidation:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_voronoi([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_voronoi(
+                [np.zeros((2, 2), dtype=bool), np.zeros((3, 3), dtype=bool)]
+            )
+
+    def test_non_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            discrete_voronoi([np.zeros((2, 2), dtype=np.int8)])
+
+
+class TestDiagram:
+    def test_two_point_sites_split_the_grid(self):
+        site_masks = masks((8, 8), [(4, 0)], [(4, 7)])
+        owner, distance = discrete_voronoi(site_masks)
+        assert owner[4, 1] == 0
+        assert owner[4, 6] == 1
+        assert distance[4, 0] == 0.0
+        assert distance[4, 7] == 0.0
+        assert distance[4, 2] == 2.0
+
+    def test_tie_breaks_to_lower_index(self):
+        site_masks = masks((3, 5), [(1, 0)], [(1, 4)])
+        owner, _ = discrete_voronoi(site_masks)
+        assert owner[1, 2] == 0  # exactly between: first site wins
+
+    def test_empty_site_never_owns(self):
+        site_masks = masks((4, 4), [], [(2, 2)])
+        owner, _ = discrete_voronoi(site_masks)
+        assert (owner != 0).all()
+
+    def test_all_empty_is_unowned(self):
+        owner, distance = discrete_voronoi(masks((3, 3), [], []))
+        assert (owner == -1).all()
+        assert np.isinf(distance).all()
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        shape = (12, 12)
+        site_masks = [rng.random(shape) < 0.06 for _ in range(4)]
+        if not any(m.any() for m in site_masks):
+            site_masks[0][5, 5] = True
+        owner, distance = discrete_voronoi(site_masks)
+        for j in range(shape[0]):
+            for i in range(shape[1]):
+                dists = site_distances_at(site_masks, (j, i))
+                finite = np.isfinite(dists)
+                if not finite.any():
+                    assert owner[j, i] == -1
+                    continue
+                best = dists.min()
+                assert distance[j, i] == pytest.approx(best)
+                assert dists[owner[j, i]] == pytest.approx(best)
+
+
+class TestSiteDistances:
+    def test_distances_at_pixel(self):
+        site_masks = masks((6, 6), [(0, 0)], [(0, 3)], [])
+        d = site_distances_at(site_masks, (0, 0))
+        assert d[0] == 0.0
+        assert d[1] == 3.0
+        assert np.isinf(d[2])
+
+    def test_diagonal_distance(self):
+        site_masks = masks((6, 6), [(3, 4)])
+        d = site_distances_at(site_masks, (0, 0))
+        assert d[0] == pytest.approx(5.0)

@@ -1,0 +1,29 @@
+"""Shared fixtures for query-pipeline tests: small deterministic datasets."""
+
+import pytest
+
+from repro.datasets import SpatialDataset, generate_layer, GeneratorConfig, VertexCountModel
+from repro.geometry import Rect
+
+
+def _layer(seed: int, count: int, name: str) -> SpatialDataset:
+    config = GeneratorConfig(
+        world=Rect(0.0, 0.0, 100.0, 100.0),
+        count=count,
+        vertex_model=VertexCountModel(vmin=3, vmax=60, mean=12.0),
+        coverage=1.2,
+        cluster_count=6,
+        cluster_spread=0.1,
+        roughness=0.35,
+    )
+    return SpatialDataset(name, generate_layer(config, seed), world=config.world)
+
+
+@pytest.fixture(scope="session")
+def dataset_a() -> SpatialDataset:
+    return _layer(seed=71, count=40, name="A")
+
+
+@pytest.fixture(scope="session")
+def dataset_b() -> SpatialDataset:
+    return _layer(seed=72, count=55, name="B")

@@ -1,0 +1,102 @@
+"""Tests for the within-distance selection (buffer query around a region)."""
+
+import pytest
+
+from repro.core import HardwareConfig, HardwareEngine, SoftwareEngine
+from repro.datasets import base_distance
+from repro.geometry import polygons_within_distance
+from repro.query import WithinDistanceSelection
+
+
+def reference_ids(dataset, query, d):
+    return sorted(
+        i
+        for i, poly in enumerate(dataset.polygons)
+        if polygons_within_distance(query, poly, d)
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(dataset_b):
+    return [dataset_b.polygons[i] for i in (3, 17, 40)]
+
+
+@pytest.fixture(scope="module")
+def unit_d(dataset_a, dataset_b):
+    return base_distance(dataset_a, dataset_b)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("factor", [0.0, 0.5, 2.0])
+    def test_software_matches_reference(self, dataset_a, queries, unit_d, factor):
+        sel = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        d = unit_d * factor
+        for q in queries:
+            assert sel.run(q, d).ids == reference_ids(dataset_a, q, d)
+
+    def test_hardware_matches_reference(self, dataset_a, queries, unit_d):
+        sel = WithinDistanceSelection(
+            dataset_a, HardwareEngine(HardwareConfig(resolution=8))
+        )
+        for q in queries:
+            assert sel.run(q, unit_d).ids == reference_ids(
+                dataset_a, q, unit_d
+            )
+
+    def test_field_mode_matches(self, dataset_a, queries, unit_d):
+        sel = WithinDistanceSelection(
+            dataset_a,
+            HardwareEngine(
+                HardwareConfig(resolution=8, distance_mode="field")
+            ),
+        )
+        for q in queries:
+            assert sel.run(q, unit_d).ids == reference_ids(
+                dataset_a, q, unit_d
+            )
+
+    def test_rejects_negative_distance(self, dataset_a, queries):
+        sel = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        with pytest.raises(ValueError):
+            sel.run(queries[0], -1.0)
+
+    def test_filters_do_not_change_results(self, dataset_a, queries, unit_d):
+        plain = WithinDistanceSelection(
+            dataset_a,
+            SoftwareEngine(),
+            use_zero_object=False,
+            use_one_object=False,
+        )
+        filtered = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        for q in queries:
+            assert plain.run(q, unit_d).ids == filtered.run(q, unit_d).ids
+
+
+class TestBehaviour:
+    def test_monotone_in_distance(self, dataset_a, queries, unit_d):
+        sel = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        q = queries[0]
+        small = set(sel.run(q, unit_d * 0.2).ids)
+        large = set(sel.run(q, unit_d * 2.0).ids)
+        assert small <= large
+
+    def test_one_object_filter_uses_query_geometry(
+        self, dataset_a, queries, unit_d
+    ):
+        sel = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        res = sel.run(queries[0], unit_d * 2.0)
+        assert res.cost.filter_positives > 0
+        assert (
+            res.cost.filter_positives + res.cost.pairs_compared
+            == res.cost.candidates_after_mbr
+        )
+
+    def test_zero_distance_equals_intersection_selection(
+        self, dataset_a, queries
+    ):
+        from repro.query import IntersectionSelection
+
+        buffer_sel = WithinDistanceSelection(dataset_a, SoftwareEngine())
+        inter_sel = IntersectionSelection(dataset_a, SoftwareEngine())
+        for q in queries:
+            assert buffer_sel.run(q, 0.0).ids == inter_sel.run(q).ids

@@ -1,0 +1,55 @@
+"""Tests for the per-stage cost accounting."""
+
+import time
+
+import pytest
+
+from repro.query import CostBreakdown
+
+
+class TestCostBreakdown:
+    def test_total_sums_stages(self):
+        c = CostBreakdown(
+            mbr_filter_s=1.0, intermediate_filter_s=2.0, geometry_s=3.0
+        )
+        assert c.total_s == 6.0
+
+    def test_merge(self):
+        a = CostBreakdown(mbr_filter_s=1.0, results=2, pairs_compared=5)
+        b = CostBreakdown(mbr_filter_s=0.5, geometry_s=2.0, results=3)
+        a.merge(b)
+        assert a.mbr_filter_s == 1.5
+        assert a.geometry_s == 2.0
+        assert a.results == 5
+        assert a.pairs_compared == 5
+
+    def test_scaled(self):
+        c = CostBreakdown(mbr_filter_s=2.0, geometry_s=4.0, results=7)
+        half = c.scaled(0.5)
+        assert half.mbr_filter_s == 1.0
+        assert half.geometry_s == 2.0
+        assert half.results == 7  # counts are not scaled
+        assert c.mbr_filter_s == 2.0  # original untouched
+
+    def test_time_stage_accumulates(self):
+        c = CostBreakdown()
+        with c.time_stage("geometry"):
+            time.sleep(0.01)
+        with c.time_stage("geometry"):
+            time.sleep(0.01)
+        assert c.geometry_s >= 0.02
+        assert c.mbr_filter_s == 0.0
+
+    def test_time_stage_unknown_raises(self):
+        c = CostBreakdown()
+        with pytest.raises(ValueError):
+            with c.time_stage("gpu"):
+                pass
+
+    def test_time_stage_records_on_exception(self):
+        c = CostBreakdown()
+        with pytest.raises(RuntimeError):
+            with c.time_stage("mbr_filter"):
+                time.sleep(0.005)
+                raise RuntimeError("boom")
+        assert c.mbr_filter_s > 0.0

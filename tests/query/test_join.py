@@ -1,0 +1,56 @@
+"""Tests for the intersection-join pipeline."""
+
+from repro.core import HardwareConfig, HardwareEngine, SoftwareEngine
+from repro.geometry import polygons_intersect
+from repro.query import IntersectionJoin
+
+
+def reference_pairs(ds_a, ds_b):
+    return sorted(
+        (i, j)
+        for i, pa in enumerate(ds_a.polygons)
+        for j, pb in enumerate(ds_b.polygons)
+        if polygons_intersect(pa, pb)
+    )
+
+
+class TestCorrectness:
+    def test_software_matches_reference(self, dataset_a, dataset_b):
+        res = IntersectionJoin(dataset_a, dataset_b, SoftwareEngine()).run()
+        assert res.pairs == reference_pairs(dataset_a, dataset_b)
+
+    def test_hardware_matches_reference(self, dataset_a, dataset_b):
+        res = IntersectionJoin(
+            dataset_a, dataset_b, HardwareEngine(HardwareConfig(resolution=8))
+        ).run()
+        assert res.pairs == reference_pairs(dataset_a, dataset_b)
+
+    def test_hardware_with_threshold_matches(self, dataset_a, dataset_b):
+        engine = HardwareEngine(HardwareConfig(resolution=8, sw_threshold=20))
+        res = IntersectionJoin(dataset_a, dataset_b, engine).run()
+        assert res.pairs == reference_pairs(dataset_a, dataset_b)
+        assert engine.stats.threshold_bypasses > 0
+
+    def test_self_join_contains_diagonal(self, dataset_a):
+        res = IntersectionJoin(dataset_a, dataset_a, SoftwareEngine()).run()
+        for i in range(len(dataset_a)):
+            assert (i, i) in res.pairs
+
+
+class TestCostAccounting:
+    def test_counters(self, dataset_a, dataset_b):
+        res = IntersectionJoin(dataset_a, dataset_b, SoftwareEngine()).run()
+        c = res.cost
+        assert c.candidates_after_mbr == c.pairs_compared
+        assert c.results == len(res.pairs)
+        assert c.results <= c.candidates_after_mbr
+        assert c.intermediate_filter_s == 0.0  # no intermediate stage
+
+    def test_hardware_filter_reduces_software_sweeps(self, dataset_a, dataset_b):
+        sw = SoftwareEngine()
+        IntersectionJoin(dataset_a, dataset_b, sw).run()
+        hw = HardwareEngine(HardwareConfig(resolution=16))
+        IntersectionJoin(dataset_a, dataset_b, hw).run()
+        # The whole point of Algorithm 3.1: fewer software sweeps run.
+        assert hw.stats.sw_segment_tests < sw.stats.sw_segment_tests
+        assert hw.stats.hw_rejects > 0

@@ -1,0 +1,93 @@
+"""Tests for the nearest-neighbor query pipeline (section-5 extension)."""
+
+import random
+
+import pytest
+
+from repro.core import HardwareConfig
+from repro.geometry import Point, point_to_polygon_distance
+from repro.query import NearestNeighborQuery
+
+
+def brute(dataset, query, k):
+    scored = sorted(
+        (point_to_polygon_distance(query, p), i)
+        for i, p in enumerate(dataset.polygons)
+    )
+    return scored[:k]
+
+
+@pytest.fixture(scope="module")
+def dataset(dataset_a):
+    return dataset_a  # the shared 40-polygon layer from conftest
+
+
+class TestSoftwareStrategy:
+    def test_matches_brute_force_grid(self, dataset):
+        nn = NearestNeighborQuery(dataset)
+        for x in (5.0, 37.5, 80.0):
+            for y in (10.0, 50.0, 95.0):
+                q = Point(x, y)
+                got = nn.run_software(q, k=3)
+                expected = brute(dataset, q, 3)
+                assert [d for d, _ in got.neighbors] == pytest.approx(
+                    [d for d, _ in expected]
+                )
+
+    def test_query_inside_object_distance_zero(self, dataset):
+        inner = dataset.polygons[0].centroid
+        if not dataset.polygons[0].contains_point(inner):
+            pytest.skip("centroid fell outside this concave polygon")
+        got = NearestNeighborQuery(dataset).run_software(inner, k=1)
+        assert got.neighbors[0][0] == 0.0
+
+    def test_prunes_exact_calls(self, dataset):
+        nn = NearestNeighborQuery(dataset)
+        got = nn.run_software(Point(50.0, 50.0), k=1)
+        assert got.exact_distance_calls < len(dataset)
+
+
+class TestHardwareStrategy:
+    def test_requires_config(self, dataset):
+        nn = NearestNeighborQuery(dataset)
+        with pytest.raises(ValueError):
+            nn.run_hardware(Point(0, 0))
+
+    def test_dispatch(self, dataset):
+        soft = NearestNeighborQuery(dataset)
+        hard = NearestNeighborQuery(dataset, hardware=HardwareConfig(resolution=32))
+        q = Point(42.0, 58.0)
+        assert soft.run(q).neighbors[0][0] == pytest.approx(
+            hard.run(q).neighbors[0][0]
+        )
+
+
+def test_hardware_exact_randomized(dataset_a):
+    """The Voronoi filter must never lose the true nearest neighbors."""
+    rng = random.Random(11)
+    hard = NearestNeighborQuery(
+        dataset_a, hardware=HardwareConfig(resolution=16)
+    )
+    for _ in range(40):
+        q = Point(rng.uniform(-10, 110), rng.uniform(-10, 110))
+        k = rng.choice([1, 2, 3])
+        got = hard.run_hardware(q, k=k)
+        expected = brute(dataset_a, q, k)
+        assert [d for d, _ in got.neighbors] == pytest.approx(
+            [d for d, _ in expected]
+        ), (q, k)
+
+
+def test_hardware_prunes_candidates(dataset_a):
+    hard = NearestNeighborQuery(
+        dataset_a, hardware=HardwareConfig(resolution=32)
+    )
+    totals = 0
+    exacts = 0
+    rng = random.Random(3)
+    for _ in range(15):
+        q = Point(rng.uniform(0, 100), rng.uniform(0, 100))
+        res = hard.run_hardware(q, k=1)
+        totals += res.candidates_rendered
+        exacts += res.exact_distance_calls
+    assert exacts < totals, "the Voronoi filter should prune some candidates"

@@ -1,0 +1,102 @@
+"""Shared hypothesis strategies for geometric property-based tests.
+
+Coordinates are drawn from a modest grid-aligned range: GIS data has 4-6
+digit decimal coordinates (paper section 3), and grid alignment makes the
+exact predicates deterministic while still exercising degenerate
+configurations (collinear points, shared endpoints, touching boundaries)
+far more often than uniform floats would.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List, Tuple
+
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Polygon, Rect
+
+#: Coordinates are multiples of 1/8 in [-16, 16]: exactly representable,
+#: so cross products up to the needed magnitude are exact in binary floats.
+coordinates = st.integers(min_value=-128, max_value=128).map(lambda v: v / 8.0)
+
+points = st.builds(Point, coordinates, coordinates)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x1 = draw(coordinates)
+    x2 = draw(coordinates)
+    y1 = draw(coordinates)
+    y2 = draw(coordinates)
+    return Rect(min(x1, x2), min(y1, y2), max(x1, x2), max(y1, y2))
+
+
+@st.composite
+def segments(draw) -> Tuple[Point, Point]:
+    return (draw(points), draw(points))
+
+
+@st.composite
+def star_polygons(draw, min_vertices: int = 3, max_vertices: int = 24) -> Polygon:
+    """Simple star-shaped polygons with grid-ish vertices.
+
+    Vertices are placed at strictly increasing angles around a center with
+    varying radii, then snapped to the 1/8 grid; snapping can very rarely
+    produce coincident consecutive vertices, which are dropped.
+    """
+    n = draw(st.integers(min_vertices, max_vertices))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = random.Random(seed)
+    cx = draw(coordinates)
+    cy = draw(coordinates)
+    # Radius scales with the vertex count so grid snapping cannot fold
+    # adjacent vertices over each other (keeps the ring simple).
+    radius = draw(st.integers(max(2, n), 40)) / 4.0
+    verts: List[Point] = []
+    for i in range(n):
+        theta = 2.0 * math.pi * (i + rng.uniform(-0.3, 0.3)) / n
+        r = radius * rng.uniform(0.4, 1.0)
+        x = round((cx + r * math.cos(theta)) * 8.0) / 8.0
+        y = round((cy + r * math.sin(theta)) * 8.0) / 8.0
+        p = Point(x, y)
+        if not verts or verts[-1] != p:
+            verts.append(p)
+    if len(verts) > 1 and verts[0] == verts[-1]:
+        verts.pop()
+    if len(verts) < 3:
+        verts = [Point(cx, cy), Point(cx + 1.0, cy), Point(cx, cy + 1.0)]
+    return Polygon(verts)
+
+
+@st.composite
+def arbitrary_polygons(draw, min_vertices: int = 3, max_vertices: int = 10) -> Polygon:
+    """Possibly self-intersecting polygons: raw vertex lists.
+
+    Consecutive duplicate vertices are allowed (they occur in dirty GIS
+    data); the library must not crash or disagree across algorithms.
+    """
+    n = draw(st.integers(min_vertices, max_vertices))
+    verts = [draw(points) for _ in range(n)]
+    # Ensure the ring is not completely degenerate (all points equal).
+    if all(v == verts[0] for v in verts):
+        verts[-1] = Point(verts[0].x + 1.0, verts[0].y)
+        verts.append(Point(verts[0].x, verts[0].y + 1.0))
+    return Polygon(verts)
+
+
+@st.composite
+def polygon_pairs_nearby(draw) -> Tuple[Polygon, Polygon]:
+    """Pairs of star polygons whose MBRs usually interact."""
+    a = draw(star_polygons())
+    b = draw(star_polygons())
+    # Translate b near a's MBR so intersecting and near-miss cases dominate.
+    shift_x = draw(st.integers(-8, 8)) / 2.0
+    shift_y = draw(st.integers(-8, 8)) / 2.0
+    target = a.mbr.center
+    b_center = b.mbr.center
+    b = b.translated(
+        target.x - b_center.x + shift_x, target.y - b_center.y + shift_y
+    )
+    return a, b

@@ -1,0 +1,128 @@
+"""Cross-module integration tests.
+
+These exercise the whole stack on catalog datasets: generation ->
+MBR filtering -> intermediate filters -> both refinement engines -> cost
+accounting, asserting the global invariants the reproduction stands on.
+"""
+
+import pytest
+
+from repro import (
+    HardwareConfig,
+    HardwareEngine,
+    IntersectionJoin,
+    IntersectionSelection,
+    SoftwareEngine,
+    WithinDistanceJoin,
+    base_distance,
+    datasets,
+)
+from repro.core import PLATFORM_2003
+
+
+@pytest.fixture(scope="module")
+def landc():
+    return datasets.load("LANDC", n_scale=0.002, v_scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def lando():
+    return datasets.load("LANDO", n_scale=0.002, v_scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def water():
+    return datasets.load("WATER", n_scale=0.0015, v_scale=0.4)
+
+
+@pytest.fixture(scope="module")
+def prism():
+    return datasets.load("PRISM", n_scale=0.01, v_scale=0.4)
+
+
+class TestEngineAgreementOnCatalogData:
+    def test_intersection_join(self, landc, lando):
+        sw = IntersectionJoin(landc, lando, SoftwareEngine()).run()
+        for res in (1, 8, 32):
+            hw_engine = HardwareEngine(HardwareConfig(resolution=res))
+            hw = IntersectionJoin(landc, lando, hw_engine).run()
+            assert hw.pairs == sw.pairs
+
+    def test_within_distance_join(self, water, prism):
+        d = base_distance(water, prism) * 0.5
+        sw = WithinDistanceJoin(water, prism, SoftwareEngine()).run(d)
+        hw_engine = HardwareEngine(HardwareConfig(resolution=8))
+        hw = WithinDistanceJoin(water, prism, hw_engine).run(d)
+        assert hw.pairs == sw.pairs
+
+    def test_selection_with_interior_filter(self, water):
+        queries = datasets.load("STATES50", v_scale=0.4).polygons[:8]
+        plain = IntersectionSelection(water, SoftwareEngine())
+        filtered = IntersectionSelection(
+            water, HardwareEngine(), interior_level=3
+        )
+        for q in queries:
+            assert plain.run(q).ids == filtered.run(q).ids
+
+    def test_threshold_and_resolution_grid(self, landc, lando):
+        sw = IntersectionJoin(landc, lando, SoftwareEngine()).run()
+        for threshold in (0, 200):
+            for res in (4, 16):
+                engine = HardwareEngine(
+                    HardwareConfig(resolution=res, sw_threshold=threshold)
+                )
+                assert IntersectionJoin(landc, lando, engine).run().pairs == sw.pairs
+
+
+class TestWorkDistributionInvariants:
+    def test_hardware_never_increases_software_sweeps(self, landc, lando):
+        sw = SoftwareEngine()
+        IntersectionJoin(landc, lando, sw).run()
+        hw = HardwareEngine(HardwareConfig(resolution=16))
+        IntersectionJoin(landc, lando, hw).run()
+        assert hw.stats.sw_segment_tests <= sw.stats.sw_segment_tests
+        assert (
+            hw.stats.sw_segment_tests + hw.stats.hw_rejects
+            == sw.stats.sw_segment_tests
+        )
+
+    def test_filter_rate_monotone_in_resolution(self, water, prism):
+        rates = []
+        for res in (1, 4, 16):
+            hw = HardwareEngine(HardwareConfig(resolution=res))
+            IntersectionJoin(water, prism, hw).run()
+            rates.append(hw.stats.hw_filter_rate)
+        assert rates[0] <= rates[1] <= rates[2]
+
+    def test_modeled_time_positive_and_deterministic(self, landc, lando):
+        def run():
+            e = HardwareEngine(HardwareConfig(resolution=8))
+            IntersectionJoin(landc, lando, e).run()
+            return PLATFORM_2003.engine_seconds(e)
+
+        t1, t2 = run(), run()
+        assert t1 == t2 > 0.0
+
+    def test_cost_breakdown_consistency(self, water, prism):
+        d = base_distance(water, prism)
+        res = WithinDistanceJoin(water, prism, SoftwareEngine()).run(d)
+        c = res.cost
+        assert c.filter_positives + c.pairs_compared == c.candidates_after_mbr
+        assert c.results >= c.filter_positives
+        assert c.total_s >= c.geometry_s
+
+
+class TestDatasetRealismInvariants:
+    def test_tessellation_covers_world(self, landc):
+        total_area = sum(p.area for p in landc.polygons)
+        world_area = landc.world.width * landc.world.height
+        assert total_area == pytest.approx(world_area, rel=0.15)
+
+    def test_water_is_sparse(self, water):
+        total_area = sum(p.area for p in water.polygons)
+        world_area = water.world.width * water.world.height
+        assert total_area < world_area
+
+    def test_water_low_mbr_fill(self, water):
+        fills = [p.area / p.mbr.area for p in water.polygons if p.mbr.area > 0]
+        assert sum(fills) / len(fills) < 0.6
