@@ -17,8 +17,42 @@ from pathlib import Path
 import pytest
 
 from repro.bench import get_scale
+from repro.exec.trace import JsonLinesExporter, Tracer, install
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out",
+        action="store",
+        default=os.environ.get("REPRO_TRACE_OUT"),
+        help=(
+            "write per-stage trace spans (JSON lines) of all benchmark "
+            "queries to this file; also settable via REPRO_TRACE_OUT"
+        ),
+    )
+
+
+@pytest.fixture(scope="session", autouse=True)
+def trace_session(request):
+    """Install a global tracer streaming spans to ``--trace-out``.
+
+    Every :meth:`CostBreakdown.time_stage` call in every pipeline emits
+    spans into it automatically (zero call-site changes); the parallel
+    executor adds per-shard child spans.  No-op when the option is unset.
+    """
+    path = request.config.getoption("--trace-out")
+    if not path:
+        yield None
+        return
+    with JsonLinesExporter(path) as exporter:
+        tracer = Tracer(exporter=exporter)
+        previous = install(tracer)
+        try:
+            yield tracer
+        finally:
+            install(previous)
 
 
 @pytest.fixture(scope="session")

@@ -40,6 +40,7 @@ from .core import (
     make_engine,
 )
 from .datasets import SpatialDataset, base_distance
+from .exec import JsonLinesExporter, ParallelExecutor, Tracer, use_tracer
 from .geometry import Point, Polygon, Rect, Segment
 from .gpu import DeviceLimits, GraphicsPipeline
 from .query import (
@@ -64,9 +65,11 @@ __all__ = [
     "HardwareVerdict",
     "IntersectionJoin",
     "IntersectionSelection",
+    "JsonLinesExporter",
     "NearestNeighborQuery",
     "OVERLAP_METHODS",
     "PLATFORM_2003",
+    "ParallelExecutor",
     "Point",
     "Polygon",
     "Rect",
@@ -75,9 +78,11 @@ __all__ = [
     "Segment",
     "SoftwareEngine",
     "SpatialDataset",
+    "Tracer",
     "WithinDistanceJoin",
     "__version__",
     "base_distance",
     "datasets",
     "make_engine",
+    "use_tracer",
 ]

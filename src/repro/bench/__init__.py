@@ -18,6 +18,7 @@ from .experiments import (
     ablation_projection,
     ablation_restricted_sweep,
     fig10_selection_tiling,
+    exec_parallel,
     fig11_selection_resolution,
     fig12_join_resolution,
     fig13_sw_threshold,
@@ -44,6 +45,7 @@ __all__ = [
     "ablation_overlap_methods",
     "ablation_projection",
     "ablation_restricted_sweep",
+    "exec_parallel",
     "fig10_selection_tiling",
     "fig11_selection_resolution",
     "fig12_join_resolution",

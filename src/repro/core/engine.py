@@ -126,8 +126,18 @@ class HardwareEngine:
 def make_engine(
     kind: str, config: Optional[HardwareConfig] = None
 ) -> RefinementEngine:
-    """Factory: ``"software"`` or ``"hardware"`` (with optional config)."""
+    """Factory: ``"software"`` or ``"hardware"`` (with optional config).
+
+    A :class:`HardwareConfig` only parameterizes the hardware engine;
+    supplying one with ``kind="software"`` is a configuration error (the
+    run would silently measure the default software path), so it raises.
+    """
     if kind == "software":
+        if config is not None:
+            raise ValueError(
+                "make_engine('software') does not accept a HardwareConfig; "
+                "the software engine has no hardware parameters"
+            )
         return SoftwareEngine()
     if kind == "hardware":
         return HardwareEngine(config)

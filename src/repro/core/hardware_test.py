@@ -29,7 +29,7 @@ to software (section 4.4).
 from __future__ import annotations
 
 from enum import Enum
-from typing import Optional
+from typing import Callable, Optional
 
 from ..geometry.polygon import Polygon
 from ..geometry.rect import Rect
@@ -164,17 +164,27 @@ class HardwareSegmentTest:
         window: Rect,
         line_width_px: float,
         cap_points: bool,
+        search: Optional[Callable[["HardwareSegmentTest", Polygon, Polygon], bool]] = None,
     ) -> HardwareVerdict:
         pl = self.pipeline
         pl.set_data_window(window)
         st = pl.state
+        saved = (st.line_width, st.point_size, st.cap_points)
         st.line_width = line_width_px
         st.point_size = line_width_px
         st.cap_points = cap_points
         st.reset_fragment_ops()
+        if search is None:
+            search = self._SEARCHES[self.config.method]
         try:
-            overlap = self._SEARCHES[self.config.method](self, a, b)
+            overlap = search(self, a, b)
         finally:
+            # Restore the full raster state, not just the fragment ops: a
+            # widened distance test must not leak its line width, point
+            # size, or end-point caps into the shared pipeline (direct
+            # GraphicsPipeline users - voronoi, distance_field - would
+            # silently inherit the widened footprint).
+            st.line_width, st.point_size, st.cap_points = saved
             st.reset_fragment_ops()
             st.color = EDGE_COLOR
         return HardwareVerdict.MAYBE if overlap else HardwareVerdict.DISJOINT
@@ -269,8 +279,20 @@ class HardwareSegmentTest:
         Runs the intersection rendering and returns the full readback (the
         expensive path the Minmax function exists to avoid; also used by the
         Minmax-vs-readback ablation).
+
+        The accumulation rendering is forced regardless of the configured
+        overlap method: only Algorithm 3.1's accumulation path leaves the
+        documented 0.5/1.0 image in the color buffer.  The stencil method
+        never writes color at all, and the logic/depth methods use different
+        encodings, so dispatching through ``config.method`` here would
+        return a stale or mis-encoded image.
         """
         self._render_and_search(
-            a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
+            a,
+            b,
+            window,
+            line_width_px=DEFAULT_AA_LINE_WIDTH,
+            cap_points=False,
+            search=HardwareSegmentTest._search_accum,
         )
         return self.pipeline.read_pixels("color")

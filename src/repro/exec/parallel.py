@@ -1,0 +1,330 @@
+"""Parallel batch refinement: shard candidate pairs across a worker pool.
+
+The refinement stage of every query pipeline is an embarrassingly parallel
+loop: each surviving candidate pair is decided independently by a
+:class:`~repro.core.engine.RefinementEngine`.  This module partitions the
+candidate list (:mod:`repro.exec.partition`) and refines the shards on a
+``multiprocessing`` pool where **each worker owns its own engine** - for the
+hardware engine that means one simulated
+:class:`~repro.gpu.pipeline.GraphicsPipeline` per worker, mirroring the
+one-GL-context-per-thread rule real drivers impose.
+
+Merge semantics: results and statistics fold back into the *caller's*
+engine and result objects so a parallel run is indistinguishable from a
+serial one -
+
+* matched keys concatenate in shard order (shards are contiguous slices,
+  so this reproduces the serial visiting order exactly);
+* :class:`~repro.core.stats.RefinementStats`, the sweep/minDist work
+  counters, and the GPU primitive :class:`~repro.gpu.costmodel.CostCounters`
+  are additive per pair, so summing per-shard deltas reproduces the serial
+  totals bit for bit;
+* per-shard wall-clock timings surface as child trace spans
+  (:mod:`repro.exec.trace`) under the enclosing pipeline stage.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.config import HardwareConfig
+from ..core.engine import HardwareEngine, RefinementEngine, SoftwareEngine
+from ..core.stats import RefinementStats
+from ..geometry.min_dist import MinDistStats
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import SweepStats
+from ..gpu.costmodel import CostCounters
+from .partition import partition_items, shard_count_for
+from .trace import current_tracer
+
+#: The refinement predicates a batch can evaluate, mapping to the
+#: :class:`~repro.core.engine.RefinementEngine` protocol methods.
+OPS = ("intersect", "within_distance", "contains")
+
+#: One unit of refinement work: an opaque result key (pair index, object
+#: id, ...) plus the two geometries to compare.
+WorkItem = Tuple[Any, Polygon, Polygon]
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """A picklable recipe for rebuilding an engine inside a worker."""
+
+    kind: str  # "software" | "hardware"
+    restrict_search_space: bool = True
+    config: Optional[HardwareConfig] = None
+
+    @classmethod
+    def for_engine(cls, engine: RefinementEngine) -> "EngineSpec":
+        if isinstance(engine, SoftwareEngine):
+            return cls(
+                kind="software",
+                restrict_search_space=engine.restrict_search_space,
+            )
+        if isinstance(engine, HardwareEngine):
+            return cls(kind="hardware", config=engine.config)
+        raise TypeError(
+            f"cannot derive a worker spec from engine {type(engine).__name__};"
+            " expected SoftwareEngine or HardwareEngine"
+        )
+
+    def build(self) -> RefinementEngine:
+        if self.kind == "software":
+            return SoftwareEngine(
+                restrict_search_space=self.restrict_search_space
+            )
+        if self.kind == "hardware":
+            return HardwareEngine(self.config)
+        raise ValueError(f"unknown engine kind {self.kind!r}")
+
+
+@dataclass
+class ShardResult:
+    """What one worker reports back for one shard."""
+
+    matches: List[Any]
+    pairs: int
+    elapsed_s: float
+    stats: RefinementStats
+    sweep_stats: SweepStats
+    mindist_stats: MinDistStats
+    gpu_counters: Optional[CostCounters] = None
+
+
+@dataclass
+class BatchReport:
+    """Aggregate outcome of one :meth:`ParallelExecutor.refine_pairs` call."""
+
+    matches: List[Any] = field(default_factory=list)
+    pairs: int = 0
+    shards: int = 0
+    #: Sum of worker-measured shard seconds (CPU-side refinement work).
+    worker_seconds: float = 0.0
+
+
+def _op_callable(engine: RefinementEngine, op: str, distance: Optional[float]):
+    if op == "intersect":
+        return lambda a, b: engine.polygons_intersect(a, b)
+    if op == "within_distance":
+        if distance is None:
+            raise ValueError("op 'within_distance' requires a distance")
+        return lambda a, b: engine.within_distance(a, b, distance)
+    if op == "contains":
+        return lambda a, b: engine.contains_properly(a, b)
+    raise ValueError(f"unknown op {op!r}; expected one of {OPS}")
+
+
+def _refine_with(
+    engine: RefinementEngine,
+    op: str,
+    distance: Optional[float],
+    items: Sequence[WorkItem],
+) -> List[Any]:
+    """Refine ``items`` with ``engine``; the shared serial/worker inner loop."""
+    predicate = _op_callable(engine, op, distance)
+    return [key for key, a, b in items if predicate(a, b)]
+
+
+# -- worker-side machinery ---------------------------------------------------
+
+_WORKER_ENGINE: Optional[RefinementEngine] = None
+
+
+def _init_worker(spec: EngineSpec) -> None:
+    """Pool initializer: build this worker's private engine once."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = spec.build()
+
+
+def _refine_shard(
+    task: Tuple[str, Optional[float], Sequence[WorkItem]],
+) -> ShardResult:
+    op, distance, items = task
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker engine missing (pool not initialized)"
+    engine.reset_stats()
+    start = time.perf_counter()
+    matches = _refine_with(engine, op, distance, items)
+    elapsed = time.perf_counter() - start
+    counters = (
+        engine.gpu_counters.snapshot()
+        if isinstance(engine, HardwareEngine)
+        else None
+    )
+    return ShardResult(
+        matches=matches,
+        pairs=len(items),
+        elapsed_s=elapsed,
+        stats=engine.stats,
+        sweep_stats=engine.sweep_stats,
+        mindist_stats=engine.mindist_stats,
+        gpu_counters=counters,
+    )
+
+
+# -- the executor ------------------------------------------------------------
+
+
+class ParallelExecutor:
+    """Refines candidate batches across a pool of engine-owning workers.
+
+    One executor may serve many queries and both engine kinds: the pool is
+    (re)built lazily whenever the caller's engine spec changes.  With
+    ``workers <= 1`` (or a batch smaller than one shard's worth of work)
+    the batch runs inline on the caller's own engine - the exact serial
+    code path - so an executor is always safe to pass.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shards_per_worker: int = 4,
+        min_inline_items: int = 32,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if shards_per_worker < 1:
+            raise ValueError(
+                f"shards_per_worker must be >= 1, got {shards_per_worker}"
+            )
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.shards_per_worker = shards_per_worker
+        self.min_inline_items = min_inline_items
+        self.start_method = start_method
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_spec: Optional[EngineSpec] = None
+        #: Reports of past refine_pairs calls (most recent last).
+        self.reports: List[BatchReport] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_spec = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # best-effort; close() is the real API
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _pool_for(self, spec: EngineSpec) -> multiprocessing.pool.Pool:
+        if self._pool is None or self._pool_spec != spec:
+            self.close()
+            ctx = multiprocessing.get_context(self.start_method)
+            self._pool = ctx.Pool(
+                processes=self.workers,
+                initializer=_init_worker,
+                initargs=(spec,),
+            )
+            self._pool_spec = spec
+        return self._pool
+
+    # -- execution -------------------------------------------------------
+
+    def refine_pairs(
+        self,
+        engine: RefinementEngine,
+        op: str,
+        items: Sequence[WorkItem],
+        distance: Optional[float] = None,
+        stage: str = "geometry",
+    ) -> List[Any]:
+        """Refine ``items`` and return the keys of the matching ones.
+
+        Statistics accumulate into ``engine`` exactly as a serial loop
+        would have; per-shard spans are recorded on the current tracer
+        (named ``"<stage>.shard"``).
+        """
+        if op not in OPS:
+            raise ValueError(f"unknown op {op!r}; expected one of {OPS}")
+        if op == "within_distance" and distance is None:
+            raise ValueError("op 'within_distance' requires a distance")
+        report = BatchReport(pairs=len(items))
+        self.reports.append(report)
+        if not items:
+            return report.matches
+
+        tracer = current_tracer()
+        shards = shard_count_for(
+            len(items), self.workers, self.shards_per_worker
+        )
+        run_inline = (
+            self.workers <= 1
+            or shards <= 1
+            or len(items) < self.min_inline_items
+        )
+        if run_inline:
+            start = time.perf_counter()
+            matches = _refine_with(engine, op, distance, items)
+            elapsed = time.perf_counter() - start
+            report.matches.extend(matches)
+            report.shards = 1
+            report.worker_seconds = elapsed
+            if tracer is not None:
+                tracer.record(
+                    f"{stage}.shard",
+                    elapsed,
+                    shard=0,
+                    pairs=len(items),
+                    inline=True,
+                )
+            return report.matches
+
+        spec = EngineSpec.for_engine(engine)
+        pool = self._pool_for(spec)
+        tasks = [
+            (op, distance, shard) for shard in partition_items(items, shards)
+        ]
+        results: List[ShardResult] = pool.map(_refine_shard, tasks)
+        for k, res in enumerate(results):
+            report.matches.extend(res.matches)
+            report.worker_seconds += res.elapsed_s
+            self._merge_shard(engine, res)
+            if tracer is not None:
+                tracer.record(
+                    f"{stage}.shard",
+                    res.elapsed_s,
+                    shard=k,
+                    pairs=res.pairs,
+                    matches=len(res.matches),
+                )
+        report.shards = len(results)
+        return report.matches
+
+    @staticmethod
+    def _merge_shard(engine: RefinementEngine, res: ShardResult) -> None:
+        engine.stats.merge(res.stats)
+        engine.sweep_stats.merge(res.sweep_stats)  # type: ignore[attr-defined]
+        engine.mindist_stats.merge(res.mindist_stats)  # type: ignore[attr-defined]
+        if res.gpu_counters is not None and isinstance(engine, HardwareEngine):
+            engine.gpu_counters.merge(res.gpu_counters)
+
+    # -- introspection ---------------------------------------------------
+
+    @property
+    def last_report(self) -> Optional[BatchReport]:
+        return self.reports[-1] if self.reports else None
+
+    def describe(self) -> Dict[str, Any]:
+        return {
+            "workers": self.workers,
+            "shards_per_worker": self.shards_per_worker,
+            "start_method": self.start_method or "default",
+            "batches": len(self.reports),
+        }

@@ -1,0 +1,208 @@
+"""Lightweight per-stage tracing: spans and a JSON-lines exporter.
+
+The adaptive-filter literature (Kipf et al., "Adaptive Geospatial Joins for
+Modern Hardware") makes per-stage cost *visibility* the prerequisite for
+tuning filter parameters at run time.  This module provides that
+observability layer for the query pipelines:
+
+* :class:`Span` - one timed operation (a pipeline stage, or a refinement
+  shard inside a stage), with a parent link so traces form a tree;
+* :class:`Tracer` - collects spans; nested ``tracer.span(...)`` context
+  managers parent automatically, and :meth:`Tracer.record` admits spans
+  timed elsewhere (e.g. inside worker processes);
+* :class:`JsonLinesExporter` - streams finished spans to a file as one JSON
+  object per line;
+* :func:`install` / :func:`use_tracer` / :func:`current_tracer` - a
+  process-global current tracer, which is how
+  :meth:`repro.query.costs.CostBreakdown.time_stage` emits spans with zero
+  call-site changes in the pipelines.
+
+The module deliberately imports nothing from the rest of :mod:`repro`, so
+any layer (queries, engines, benchmarks) may depend on it without cycles.
+
+Span JSON schema (one line per span)::
+
+    {"span_id": 3, "parent_id": 2, "name": "geometry.shard",
+     "start_unix_s": 1754400000.123, "duration_s": 0.0421,
+     "attributes": {"shard": 1, "pairs": 512}}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+
+@dataclass
+class Span:
+    """One finished timed operation."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start_unix_s: float
+    duration_s: float
+    attributes: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_unix_s": self.start_unix_s,
+            "duration_s": self.duration_s,
+            "attributes": self.attributes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+
+class JsonLinesExporter:
+    """Writes each finished span as one JSON line.
+
+    Accepts an open text file object or a path (opened lazily, truncating).
+    Usable as a context manager; :meth:`close` only closes files this
+    exporter itself opened.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        self._path: Optional[str] = target if isinstance(target, str) else None
+        self._file: Optional[IO[str]] = None if self._path else target  # type: ignore[assignment]
+        self._owns_file = self._path is not None
+
+    def __call__(self, span: Span) -> None:
+        if self._file is None:
+            assert self._path is not None
+            self._file = open(self._path, "w", encoding="utf-8")
+        self._file.write(span.to_json() + "\n")
+        self._file.flush()
+
+    def close(self) -> None:
+        if self._owns_file and self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class Tracer:
+    """Collects spans; optionally streams them through an exporter.
+
+    Not thread-safe by design: one tracer belongs to one control flow.
+    Worker processes do not carry a tracer - they report shard timings back
+    to the coordinating process, which records them via :meth:`record`.
+    """
+
+    def __init__(self, exporter: Optional[JsonLinesExporter] = None) -> None:
+        self.spans: List[Span] = []
+        self._exporter = exporter
+        self._stack: List[int] = []
+        self._next_id = 1
+
+    # -- recording --------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Span]:
+        """Time a block as a span, parented to the enclosing span."""
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start_unix_s=time.time(),
+            duration_s=0.0,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._stack.append(span.span_id)
+        start = time.perf_counter()
+        try:
+            yield span
+        finally:
+            span.duration_s = time.perf_counter() - start
+            self._stack.pop()
+            self._finish(span)
+
+    def record(
+        self,
+        name: str,
+        duration_s: float,
+        start_unix_s: Optional[float] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record a span timed externally (e.g. inside a pool worker).
+
+        The span parents to the currently open span of *this* tracer, which
+        is how per-shard child spans land under their pipeline stage.
+        """
+        span = Span(
+            span_id=self._next_id,
+            parent_id=self._stack[-1] if self._stack else None,
+            name=name,
+            start_unix_s=time.time() if start_unix_s is None else start_unix_s,
+            duration_s=duration_s,
+            attributes=dict(attributes),
+        )
+        self._next_id += 1
+        self._finish(span)
+        return span
+
+    def _finish(self, span: Span) -> None:
+        self.spans.append(span)
+        if self._exporter is not None:
+            self._exporter(span)
+
+    # -- inspection -------------------------------------------------------
+
+    def export(self, target: Union[str, IO[str], JsonLinesExporter]) -> None:
+        """Write all collected spans to ``target`` as JSON lines.
+
+        ``target`` may be a path, an open text file, or an existing
+        :class:`JsonLinesExporter` (left open for the caller to close).
+        """
+        if isinstance(target, JsonLinesExporter):
+            for span in self.spans:
+                target(span)
+            return
+        with JsonLinesExporter(target) as exporter:
+            for span in self.spans:
+                exporter(span)
+
+    def find(self, name: str) -> List[Span]:
+        """All finished spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+
+# -- the process-global current tracer --------------------------------------
+
+_CURRENT: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The installed tracer, or None when tracing is off (the default)."""
+    return _CURRENT
+
+
+def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install ``tracer`` globally; returns the previously installed one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = tracer
+    return previous
+
+
+@contextmanager
+def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` for the duration of a block."""
+    previous = install(tracer)
+    try:
+        yield tracer
+    finally:
+        install(previous)

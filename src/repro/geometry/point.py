@@ -28,6 +28,12 @@ class Point:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Point is immutable")
 
+    def __reduce__(self):
+        # Slotted immutables need explicit pickle support (the default
+        # protocol restores state through the blocked __setattr__); worker
+        # processes of repro.exec receive geometry this way.
+        return (Point, (self.x, self.y))
+
     # -- value semantics -------------------------------------------------
 
     def __eq__(self, other: object) -> bool:

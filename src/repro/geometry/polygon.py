@@ -43,6 +43,11 @@ class Polygon:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Polygon is immutable")
 
+    def __reduce__(self):
+        # Pickle as (class, vertices): the cached MBR/area/arrays rebuild
+        # lazily and deterministically on the receiving side.
+        return (Polygon, (list(self._vertices),))
+
     @staticmethod
     def from_coords(coords: Sequence[Tuple[float, float]]) -> "Polygon":
         """Build a polygon from ``[(x, y), ...]`` coordinate pairs."""

@@ -35,6 +35,10 @@ class Rect:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
 
+    def __reduce__(self):
+        # Explicit pickle support for the slotted immutable (see Point).
+        return (Rect, (self.xmin, self.ymin, self.xmax, self.ymax))
+
     # -- construction -----------------------------------------------------
 
     @staticmethod

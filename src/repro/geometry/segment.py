@@ -27,6 +27,10 @@ class Segment:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Segment is immutable")
 
+    def __reduce__(self):
+        # Explicit pickle support for the slotted immutable (see Point).
+        return (Segment, (self.p0, self.p1))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Segment):
             return NotImplemented

@@ -12,7 +12,7 @@ full readback moves pixels from an on-card scan to a bus transfer).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass

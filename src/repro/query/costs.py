@@ -10,9 +10,11 @@ experiments can print the same rows the paper plots.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Tuple
+
+from ..exec.trace import current_tracer
 
 
 @dataclass
@@ -55,14 +57,41 @@ class CostBreakdown:
             results=self.results,
         )
 
+    @classmethod
+    def stage_names(cls) -> Tuple[str, ...]:
+        """The timeable stage names, in pipeline order."""
+        return tuple(
+            name[: -len("_s")]
+            for name in cls.__dataclass_fields__
+            if name.endswith("_s")
+        )
+
     @contextmanager
     def time_stage(self, stage: str) -> Iterator[None]:
-        """Accumulate wall-clock time into ``<stage>_s``."""
+        """Accumulate wall-clock time into ``<stage>_s``.
+
+        When a tracer is installed (:mod:`repro.exec.trace`), a span named
+        after the stage is emitted as well, so every pipeline gets per-stage
+        tracing with no call-site changes.  Only writable stage *fields* are
+        accepted: read-only aggregates such as :attr:`total_s` are rejected
+        up front with :class:`ValueError` rather than failing on ``setattr``.
+        """
         attr = f"{stage}_s"
-        if not hasattr(self, attr):
-            raise ValueError(f"unknown stage {stage!r}")
-        start = time.perf_counter()
-        try:
-            yield
-        finally:
-            setattr(self, attr, getattr(self, attr) + time.perf_counter() - start)
+        if attr not in self.__dataclass_fields__:
+            raise ValueError(
+                f"unknown stage {stage!r}; expected one of {self.stage_names()}"
+            )
+        tracer = current_tracer()
+        span = (
+            tracer.span(stage, kind="stage")
+            if tracer is not None
+            else nullcontext()
+        )
+        with span:
+            start = time.perf_counter()
+            try:
+                yield
+            finally:
+                setattr(
+                    self, attr, getattr(self, attr) + time.perf_counter() - start
+                )

@@ -14,10 +14,11 @@ straight from MBR pairs to refinement, where the hardware test lives.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.engine import RefinementEngine
 from ..datasets.dataset import SpatialDataset
+from ..exec.parallel import ParallelExecutor
 from ..filters.progressive import ConvexHullFilter
 from ..index.mbr_join import plane_sweep_mbr_join
 from .costs import CostBreakdown
@@ -40,11 +41,16 @@ class IntersectionJoin:
         dataset_b: SpatialDataset,
         engine: RefinementEngine,
         use_hull_filter: bool = False,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         self.dataset_a = dataset_a
         self.dataset_b = dataset_b
         self.engine = engine
         self.use_hull_filter = use_hull_filter
+        #: When set, the geometry stage refines candidate shards on the
+        #: executor's worker pool; results and stats are identical to the
+        #: serial loop (see :mod:`repro.exec.parallel`).
+        self.executor = executor
         self.hulls_a: ConvexHullFilter | None = None
         self.hulls_b: ConvexHullFilter | None = None
         if use_hull_filter:
@@ -75,10 +81,17 @@ class IntersectionJoin:
         polys_a = self.dataset_a.polygons
         polys_b = self.dataset_b.polygons
         with cost.time_stage("geometry"):
-            for i, j in candidates:
-                cost.pairs_compared += 1
-                if self.engine.polygons_intersect(polys_a[i], polys_b[j]):
-                    results.append((i, j))
+            if self.executor is not None:
+                items = [((i, j), polys_a[i], polys_b[j]) for i, j in candidates]
+                results.extend(
+                    self.executor.refine_pairs(self.engine, "intersect", items)
+                )
+                cost.pairs_compared += len(candidates)
+            else:
+                for i, j in candidates:
+                    cost.pairs_compared += 1
+                    if self.engine.polygons_intersect(polys_a[i], polys_b[j]):
+                        results.append((i, j))
 
         results.sort()
         cost.results = len(results)

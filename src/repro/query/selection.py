@@ -19,6 +19,7 @@ from typing import List, Optional
 
 from ..core.engine import RefinementEngine
 from ..datasets.dataset import SpatialDataset
+from ..exec.parallel import ParallelExecutor
 from ..filters.interior import InteriorFilter
 from ..geometry.polygon import Polygon
 from ..index.str_pack import str_bulk_load
@@ -45,12 +46,16 @@ class IntersectionSelection:
         dataset: SpatialDataset,
         engine: RefinementEngine,
         interior_level: Optional[int] = None,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         if interior_level is not None and interior_level < 0:
             raise ValueError("interior_level must be >= 0")
         self.dataset = dataset
         self.engine = engine
         self.interior_level = interior_level
+        #: Optional parallel batch executor for the geometry stage
+        #: (identical results/stats to the serial loop).
+        self.executor = executor
         self.index = str_bulk_load(
             [(mbr, i) for i, mbr in enumerate(dataset.mbrs)]
         )
@@ -77,10 +82,21 @@ class IntersectionSelection:
             cost.filter_positives = len(positives)
 
         with cost.time_stage("geometry"):
-            for i in remaining:
-                cost.pairs_compared += 1
-                if self.engine.polygons_intersect(query, self.dataset.polygons[i]):
-                    positives.append(i)
+            if self.executor is not None:
+                items = [
+                    (i, query, self.dataset.polygons[i]) for i in remaining
+                ]
+                positives.extend(
+                    self.executor.refine_pairs(self.engine, "intersect", items)
+                )
+                cost.pairs_compared += len(remaining)
+            else:
+                for i in remaining:
+                    cost.pairs_compared += 1
+                    if self.engine.polygons_intersect(
+                        query, self.dataset.polygons[i]
+                    ):
+                        positives.append(i)
 
         positives.sort()
         cost.results = len(positives)

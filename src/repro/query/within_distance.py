@@ -15,10 +15,11 @@ The paper's third query class (section 4.4).  Stages per Figure 8:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.engine import RefinementEngine
 from ..datasets.dataset import SpatialDataset
+from ..exec.parallel import ParallelExecutor
 from ..filters.object_filters import one_object_upper_bound, zero_object_upper_bound
 from ..filters.progressive import ConvexHullFilter
 from ..index.mbr_join import plane_sweep_mbr_join
@@ -44,10 +45,14 @@ class WithinDistanceJoin:
         use_zero_object: bool = True,
         use_one_object: bool = True,
         use_hull_filter: bool = False,
+        executor: Optional[ParallelExecutor] = None,
     ) -> None:
         self.dataset_a = dataset_a
         self.dataset_b = dataset_b
         self.engine = engine
+        #: Optional parallel batch executor for the geometry stage
+        #: (identical results/stats to the serial loop).
+        self.executor = executor
         self.use_zero_object = use_zero_object
         self.use_one_object = use_one_object
         self.use_hull_filter = use_hull_filter
@@ -105,10 +110,19 @@ class WithinDistanceJoin:
             cost.filter_positives = len(results)
 
         with cost.time_stage("geometry"):
-            for i, j in remaining:
-                cost.pairs_compared += 1
-                if self.engine.within_distance(polys_a[i], polys_b[j], d):
-                    results.append((i, j))
+            if self.executor is not None:
+                items = [((i, j), polys_a[i], polys_b[j]) for i, j in remaining]
+                results.extend(
+                    self.executor.refine_pairs(
+                        self.engine, "within_distance", items, distance=d
+                    )
+                )
+                cost.pairs_compared += len(remaining)
+            else:
+                for i, j in remaining:
+                    cost.pairs_compared += 1
+                    if self.engine.within_distance(polys_a[i], polys_b[j], d):
+                        results.append((i, j))
 
         results.sort()
         cost.results = len(results)

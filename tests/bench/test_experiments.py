@@ -42,6 +42,7 @@ class TestRegistry:
             "ablation-minmax",
             "ablation-overlap-methods",
             "ablation-projection",
+            "exec-parallel",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

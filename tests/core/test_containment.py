@@ -1,6 +1,5 @@
 """Tests for the proper-containment predicate and its hardware upgrade."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -68,3 +68,15 @@ class TestEngineAgreement:
         hw = HardwareEngine(HardwareConfig(resolution=8, sw_threshold=12))
         assert sw.polygons_intersect(a, b) == hw.polygons_intersect(a, b)
         assert sw.within_distance(a, b, d) == hw.within_distance(a, b, d)
+
+
+class TestSoftwareConfigRejected:
+    """Regression: a HardwareConfig passed with kind='software' used to be
+    silently dropped, so benchmark runs measured the wrong engine."""
+
+    def test_software_with_config_raises(self):
+        with pytest.raises(ValueError, match="software"):
+            make_engine("software", HardwareConfig(resolution=16))
+
+    def test_software_with_none_config_ok(self):
+        assert isinstance(make_engine("software", None), SoftwareEngine)

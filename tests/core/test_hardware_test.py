@@ -17,7 +17,6 @@ from repro.geometry import (
     boundaries_intersect_brute_force,
     boundary_distance_brute_force,
 )
-from repro.gpu import DeviceLimits
 from tests.strategies import polygon_pairs_nearby
 
 SQUARE = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
@@ -164,3 +163,64 @@ class TestOverlapImage:
         assert c.minmax_ops == 1
         assert c.accum_ops == 3  # two adds + one return
         assert c.buffer_clears == 3  # color, accum, color-between-renders
+
+
+class TestOverlapImageMethodIndependence:
+    """Regression: overlap_image used to dispatch through config.method, so
+    'stencil' returned a stale color buffer and 'logic'/'depth' returned a
+    differently encoded image.  The accumulation rendering is now forced."""
+
+    @pytest.mark.parametrize(
+        "method", ["accum", "blend", "logic", "depth", "stencil"]
+    )
+    def test_accum_encoding_for_every_method(self, method):
+        hw = make_test(resolution=8, method=method)
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        img = hw.overlap_image(SQUARE, SHIFTED, w)
+        values = set(np.unique(img))
+        assert values <= {np.float32(0.0), np.float32(0.5), np.float32(1.0)}
+        assert np.float32(1.0) in values  # the boundaries do overlap
+
+    def test_stencil_image_matches_accum_image(self):
+        w = intersection_window(SQUARE.mbr, SHIFTED.mbr)
+        img_accum = make_test(method="accum").overlap_image(SQUARE, SHIFTED, w)
+        img_stencil = make_test(method="stencil").overlap_image(
+            SQUARE, SHIFTED, w
+        )
+        assert np.array_equal(img_accum, img_stencil)
+
+
+class TestRasterStateRestoration:
+    """Regression: a widened distance test leaked line_width/point_size/
+    cap_points into the shared pipeline state, so direct GraphicsPipeline
+    users inherited the widened footprint."""
+
+    def test_distance_test_restores_raster_state(self):
+        hw = make_test(resolution=16)
+        st = hw.pipeline.state
+        saved = (st.line_width, st.point_size, st.cap_points)
+        w = distance_window(SQUARE.mbr, SHIFTED.mbr, 2.0)
+        # A positive distance within device limits widens the lines and
+        # enables point caps inside the test ...
+        assert hw.required_line_width(w, 2.0) > 1
+        verdict = hw.distance_verdict(SQUARE, SHIFTED, w, 2.0)
+        assert verdict is not HardwareVerdict.UNSUPPORTED
+        # ... but none of it may leak out.
+        assert (st.line_width, st.point_size, st.cap_points) == saved
+        assert st.blend is False
+        assert st.logic_op is None
+        assert st.color_write is True
+        assert st.stencil_op is None
+        assert st.depth_write is False
+        assert st.depth_test is None
+
+    @pytest.mark.parametrize(
+        "method", ["accum", "blend", "logic", "depth", "stencil"]
+    )
+    def test_intersection_test_restores_state_all_methods(self, method):
+        hw = make_test(resolution=8, method=method)
+        st = hw.pipeline.state
+        saved = (st.line_width, st.point_size, st.cap_points, st.color)
+        hw.intersection_verdict(SQUARE, SHIFTED, intersection_window(SQUARE.mbr, SHIFTED.mbr))
+        assert (st.line_width, st.point_size, st.cap_points, st.color) == saved
+        assert st.color_write is True and st.stencil_op is None

@@ -1,6 +1,5 @@
 """Tests for the Voronoi tessellation generator."""
 
-import math
 import random
 
 import pytest

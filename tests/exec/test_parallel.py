@@ -1,0 +1,204 @@
+"""Determinism and merge tests for the parallel batch executor.
+
+The load-bearing property: a parallel run is *indistinguishable* from a
+serial run - identical result pairs, identical RefinementStats, identical
+sweep/minDist work counters, identical GPU primitive counters.  Timings are
+the only thing allowed to differ.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import HardwareConfig, HardwareEngine, SoftwareEngine
+from repro.exec import EngineSpec, ParallelExecutor, Tracer, use_tracer
+from repro.geometry import Polygon
+from repro.query import (
+    IntersectionJoin,
+    IntersectionSelection,
+    WithinDistanceJoin,
+)
+
+ENGINES = {
+    "software": lambda: SoftwareEngine(),
+    "hardware": lambda: HardwareEngine(HardwareConfig(resolution=8)),
+}
+
+
+def make_executor() -> ParallelExecutor:
+    # min_inline_items=1 forces the pool path even on tiny workloads so the
+    # tests exercise real worker processes.
+    return ParallelExecutor(workers=2, min_inline_items=1)
+
+
+def assert_engines_identical(serial, parallel):
+    assert serial.stats == parallel.stats
+    assert serial.sweep_stats == parallel.sweep_stats
+    assert serial.mindist_stats == parallel.mindist_stats
+    if isinstance(serial, HardwareEngine):
+        assert serial.gpu_counters == parallel.gpu_counters
+
+
+class TestGeometryPickling:
+    def test_polygon_round_trips(self):
+        poly = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+        clone = pickle.loads(pickle.dumps(poly))
+        assert clone == poly
+        assert clone.mbr == poly.mbr
+
+
+class TestEngineSpec:
+    def test_software_round_trip(self):
+        spec = EngineSpec.for_engine(SoftwareEngine(restrict_search_space=False))
+        rebuilt = spec.build()
+        assert isinstance(rebuilt, SoftwareEngine)
+        assert rebuilt.restrict_search_space is False
+
+    def test_hardware_round_trip(self):
+        config = HardwareConfig(resolution=16, sw_threshold=12)
+        rebuilt = EngineSpec.for_engine(HardwareEngine(config)).build()
+        assert isinstance(rebuilt, HardwareEngine)
+        assert rebuilt.config == config
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(TypeError):
+            EngineSpec.for_engine(object())
+
+
+class TestExecutorValidation:
+    def test_bad_worker_count(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(workers=0)
+
+    def test_bad_op(self):
+        with ParallelExecutor(workers=1) as ex:
+            with pytest.raises(ValueError):
+                ex.refine_pairs(SoftwareEngine(), "teleport", [])
+
+    def test_within_distance_requires_distance(self):
+        with ParallelExecutor(workers=1) as ex:
+            with pytest.raises(ValueError):
+                ex.refine_pairs(SoftwareEngine(), "within_distance", [])
+
+    def test_empty_batch(self):
+        with make_executor() as ex:
+            assert ex.refine_pairs(SoftwareEngine(), "intersect", []) == []
+
+
+@pytest.mark.parametrize("engine_kind", ["software", "hardware"])
+class TestDeterminism:
+    """Parallel == serial for all three query classes, both engines."""
+
+    def test_intersection_join(self, dataset_a, dataset_b, engine_kind):
+        e_serial = ENGINES[engine_kind]()
+        e_parallel = ENGINES[engine_kind]()
+        serial = IntersectionJoin(dataset_a, dataset_b, e_serial).run()
+        with make_executor() as ex:
+            parallel = IntersectionJoin(
+                dataset_a, dataset_b, e_parallel, executor=ex
+            ).run()
+            assert ex.last_report.shards > 1  # the pool really ran
+        assert parallel.pairs == serial.pairs
+        assert parallel.cost.pairs_compared == serial.cost.pairs_compared
+        assert parallel.cost.results == serial.cost.results
+        assert_engines_identical(e_serial, e_parallel)
+
+    def test_within_distance_join(self, dataset_a, dataset_b, engine_kind):
+        d = 2.0
+        e_serial = ENGINES[engine_kind]()
+        e_parallel = ENGINES[engine_kind]()
+        serial = WithinDistanceJoin(dataset_a, dataset_b, e_serial).run(d)
+        with make_executor() as ex:
+            parallel = WithinDistanceJoin(
+                dataset_a, dataset_b, e_parallel, executor=ex
+            ).run(d)
+        assert parallel.pairs == serial.pairs
+        assert parallel.cost.pairs_compared == serial.cost.pairs_compared
+        assert parallel.cost.filter_positives == serial.cost.filter_positives
+        assert_engines_identical(e_serial, e_parallel)
+
+    def test_intersection_selection(self, dataset_a, dataset_b, engine_kind):
+        query = dataset_a.polygons[0]
+        e_serial = ENGINES[engine_kind]()
+        e_parallel = ENGINES[engine_kind]()
+        serial = IntersectionSelection(dataset_b, e_serial).run(query)
+        with make_executor() as ex:
+            parallel = IntersectionSelection(
+                dataset_b, e_parallel, executor=ex
+            ).run(query)
+        assert parallel.ids == serial.ids
+        assert parallel.cost.pairs_compared == serial.cost.pairs_compared
+        assert_engines_identical(e_serial, e_parallel)
+
+
+class TestInlineFallback:
+    def test_single_worker_runs_inline_on_callers_engine(
+        self, dataset_a, dataset_b
+    ):
+        e_serial = SoftwareEngine()
+        e_inline = SoftwareEngine()
+        serial = IntersectionJoin(dataset_a, dataset_b, e_serial).run()
+        with ParallelExecutor(workers=1) as ex:
+            inline = IntersectionJoin(
+                dataset_a, dataset_b, e_inline, executor=ex
+            ).run()
+            assert ex.last_report.shards == 1
+        assert inline.pairs == serial.pairs
+        assert_engines_identical(e_serial, e_inline)
+
+    def test_small_batches_stay_inline(self):
+        square = Polygon.from_coords([(0, 0), (4, 0), (4, 4), (0, 4)])
+        shifted = Polygon.from_coords([(2, 2), (6, 2), (6, 6), (2, 6)])
+        with ParallelExecutor(workers=4, min_inline_items=32) as ex:
+            matches = ex.refine_pairs(
+                SoftwareEngine(), "intersect", [(("p", 0), square, shifted)]
+            )
+            assert matches == [("p", 0)]
+            assert ex._pool is None  # no pool was ever spawned
+
+
+class TestShardTracing:
+    def test_shard_spans_parent_to_stage_span(self, dataset_a, dataset_b):
+        tracer = Tracer()
+        engine = SoftwareEngine()
+        with make_executor() as ex, use_tracer(tracer):
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+        stage_spans = {s.span_id: s for s in tracer.find("geometry")}
+        shard_spans = tracer.find("geometry.shard")
+        assert len(shard_spans) == ex.reports[-1].shards
+        assert shard_spans
+        for span in shard_spans:
+            assert span.parent_id in stage_spans
+            assert span.duration_s >= 0.0
+            assert "pairs" in span.attributes
+        # Every pipeline stage that ran is covered by a span.
+        names = {s.name for s in tracer.spans}
+        assert {"mbr_filter", "geometry"} <= names
+
+    def test_executor_reports(self, dataset_a, dataset_b):
+        engine = SoftwareEngine()
+        with make_executor() as ex:
+            result = IntersectionJoin(
+                dataset_a, dataset_b, engine, executor=ex
+            ).run()
+            report = ex.last_report
+        assert report.pairs == result.cost.pairs_compared
+        assert len(result.pairs) == len(report.matches)
+        assert report.worker_seconds > 0.0
+
+
+class TestPoolReuse:
+    def test_pool_rebuilds_on_engine_change(self, dataset_a, dataset_b):
+        with make_executor() as ex:
+            IntersectionJoin(
+                dataset_a, dataset_b, SoftwareEngine(), executor=ex
+            ).run()
+            first_pool = ex._pool
+            IntersectionJoin(
+                dataset_a, dataset_b, SoftwareEngine(), executor=ex
+            ).run()
+            assert ex._pool is first_pool  # same spec: pool reused
+            IntersectionJoin(
+                dataset_a, dataset_b, HardwareEngine(), executor=ex
+            ).run()
+            assert ex._pool is not first_pool  # spec changed: rebuilt

@@ -1,0 +1,57 @@
+"""Tests for candidate-list partitioning."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exec import partition_items, shard_count_for
+
+
+class TestPartitionItems:
+    def test_empty(self):
+        assert partition_items([], 4) == []
+
+    def test_single_shard_is_whole_list(self):
+        assert partition_items([1, 2, 3], 1) == [[1, 2, 3]]
+
+    def test_more_shards_than_items_clamps(self):
+        shards = partition_items([1, 2], 8)
+        assert shards == [[1], [2]]
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(ValueError):
+            partition_items([1], 0)
+
+    @given(
+        n=st.integers(min_value=0, max_value=200),
+        shards=st.integers(min_value=1, max_value=32),
+    )
+    def test_partition_invariants(self, n, shards):
+        items = list(range(n))
+        out = partition_items(items, shards)
+        # Concatenation in shard order reproduces the input exactly - the
+        # property the executor's bit-identical merge relies on.
+        assert [x for shard in out for x in shard] == items
+        assert all(shard for shard in out)
+        if n:
+            sizes = [len(shard) for shard in out]
+            assert max(sizes) - min(sizes) <= 1
+            assert len(out) == min(shards, n)
+
+
+class TestShardCountFor:
+    def test_zero_items(self):
+        assert shard_count_for(0, 4) == 0
+
+    def test_single_worker_single_shard(self):
+        assert shard_count_for(1000, 1) == 1
+
+    def test_oversharding_for_load_balance(self):
+        assert shard_count_for(10_000, 4, shards_per_worker=4) == 16
+
+    def test_tiny_inputs_collapse(self):
+        # 20 items over 8 workers must not produce 32 micro-shards.
+        assert shard_count_for(20, 8, min_shard_size=16) == 1
+
+    def test_never_exceeds_items(self):
+        assert shard_count_for(3, 8, min_shard_size=1) <= 3

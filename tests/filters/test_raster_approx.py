@@ -10,7 +10,7 @@ from repro.filters import (
     TileVerdict,
     classify_pair,
 )
-from repro.geometry import Point, Polygon, polygons_intersect
+from repro.geometry import Polygon, polygons_intersect
 from tests.strategies import polygon_pairs_nearby, star_polygons
 
 SQUARE = Polygon.from_coords([(0, 0), (8, 0), (8, 8), (0, 8)])

@@ -6,7 +6,6 @@ from hypothesis import given
 
 from repro.geometry import (
     Point,
-    Polygon,
     Rect,
     clip_polygon_to_rect,
     clip_segment_to_rect,

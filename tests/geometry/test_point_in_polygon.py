@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given
 
-from repro.geometry import Point, PointLocation, Polygon, locate_point
+from repro.geometry import Point, PointLocation, locate_point
 from repro.geometry.point_in_polygon import (
     _debug_location_by_sampling,
     any_vertex_inside,

@@ -1,6 +1,5 @@
 """Tests for Douglas-Peucker simplification."""
 
-import math
 
 import pytest
 from hypothesis import given, settings

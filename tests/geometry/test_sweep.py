@@ -3,7 +3,6 @@
 from hypothesis import given, settings
 
 from repro.geometry import (
-    Point,
     Polygon,
     SweepStats,
     boundaries_intersect,

@@ -53,3 +53,40 @@ class TestCostBreakdown:
                 time.sleep(0.005)
                 raise RuntimeError("boom")
         assert c.mbr_filter_s > 0.0
+
+
+class TestTimeStageValidation:
+    """Regression: stage validation must reject non-field stage names."""
+
+    def test_total_rejected_up_front(self):
+        # "total" passes a hasattr check (total_s is a read-only property)
+        # but must raise the intended ValueError, not die in setattr.
+        c = CostBreakdown(mbr_filter_s=1.0, geometry_s=2.0)
+        with pytest.raises(ValueError, match="unknown stage 'total'"):
+            with c.time_stage("total"):
+                pass  # pragma: no cover - never entered
+        # Nothing ran, nothing was mutated.
+        assert c.total_s == 3.0
+        assert c.mbr_filter_s == 1.0
+
+    def test_rejects_before_entering_block(self):
+        c = CostBreakdown()
+        entered = []
+        with pytest.raises(ValueError):
+            with c.time_stage("total"):
+                entered.append(True)
+        assert entered == []
+
+    def test_stage_names(self):
+        assert CostBreakdown.stage_names() == (
+            "mbr_filter",
+            "intermediate_filter",
+            "geometry",
+        )
+
+    def test_all_stage_names_timeable(self):
+        c = CostBreakdown()
+        for stage in CostBreakdown.stage_names():
+            with c.time_stage(stage):
+                pass
+            assert getattr(c, f"{stage}_s") >= 0.0
