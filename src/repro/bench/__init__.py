@@ -17,6 +17,7 @@ from .experiments import (
     ablation_overlap_methods,
     ablation_projection,
     ablation_restricted_sweep,
+    batch_refine,
     fig10_selection_tiling,
     exec_parallel,
     fig11_selection_resolution,
@@ -45,6 +46,7 @@ __all__ = [
     "ablation_overlap_methods",
     "ablation_projection",
     "ablation_restricted_sweep",
+    "batch_refine",
     "exec_parallel",
     "fig10_selection_tiling",
     "fig11_selection_resolution",

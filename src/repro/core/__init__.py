@@ -5,6 +5,7 @@ the projection strategies of section 3.2, the ``sw_threshold`` adaptation of
 section 4.3, and the engine abstraction the query pipelines plug into.
 """
 
+from .batch import BATCH_OPS, refine_pairs_batched
 from .config import OVERLAP_METHODS, OVERLAP_THRESHOLD, HardwareConfig
 from .containment import hybrid_contains_properly, software_contains_properly
 from .distance import hybrid_within_distance, software_within_distance
@@ -16,6 +17,7 @@ from .projection import distance_window, intersection_window, union_window
 from .stats import RefinementStats
 
 __all__ = [
+    "BATCH_OPS",
     "HardwareConfig",
     "HardwareEngine",
     "HardwareSegmentTest",
@@ -33,6 +35,7 @@ __all__ = [
     "hybrid_within_distance",
     "intersection_window",
     "make_engine",
+    "refine_pairs_batched",
     "software_contains_properly",
     "software_polygons_intersect",
     "software_within_distance",

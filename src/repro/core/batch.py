@@ -1,0 +1,280 @@
+"""Batched hybrid refinement: one hardware submission for many pairs.
+
+The serial hybrid tests (:mod:`.intersection`, :mod:`.distance`,
+:mod:`.containment`) interleave their software steps with one hardware
+round-trip *per pair*, paying the fixed per-test overhead - the very
+overhead ``sw_threshold`` exists to dodge (section 4.3) - once per
+candidate.  This module runs the same three-step pipelines over a whole
+candidate batch instead:
+
+1. the software prefilters (MBR, point-in-polygon / containment witness)
+   run per pair, exactly as the serial code does;
+2. every pair that would have called the hardware is collected and decided
+   by **one** batched atlas submission
+   (:meth:`~.hardware_test.HardwareSegmentTest.intersection_verdicts_batch` /
+   :meth:`~.hardware_test.HardwareSegmentTest.distance_verdicts_batch`);
+3. the software fallback (plane sweep / minDist) runs per surviving pair.
+
+Every per-pair decision and every :class:`~.stats.RefinementStats`
+increment matches the serial loop exactly - the counters are additive over
+pairs and batching only reorders when they happen, never whether.  The
+same holds for the sweep and minDist work counters.  Each hardware batch
+is visible as a ``geometry.hw_batch`` span on the installed tracer (plus
+the per-submission ``gpu.tile_batch`` spans underneath).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, List, Optional, Sequence, Tuple
+
+from ..geometry.distance import either_contains
+from ..geometry.min_dist import MinDistStats, min_boundary_distance
+from ..geometry.point_in_polygon import PointLocation, locate_point
+from ..geometry.polygon import Polygon
+from ..geometry.sweep import SweepStats, boundaries_intersect
+from .hardware_test import HardwareSegmentTest, HardwareVerdict, PairWindow
+from .intersection import _point_in_polygon_step
+from .projection import distance_window, intersection_window
+from .stats import RefinementStats
+
+#: One unit of batched work: an opaque result key plus the two polygons.
+BatchItem = Tuple[Any, Polygon, Polygon]
+
+#: The predicates `refine_pairs_batched` evaluates.
+BATCH_OPS = ("intersect", "within_distance", "contains")
+
+
+def refine_pairs_batched(
+    hw: HardwareSegmentTest,
+    op: str,
+    items: Sequence[BatchItem],
+    distance: Optional[float] = None,
+    stats: Optional[RefinementStats] = None,
+    sweep_stats: Optional[SweepStats] = None,
+    mindist_stats: Optional[MinDistStats] = None,
+    restrict_search_space: bool = True,
+) -> List[Any]:
+    """Refine ``items`` with batched hardware tests; return matching keys.
+
+    Keys return in item order.  Results and statistics are bit-identical
+    to running the corresponding serial hybrid test over the same items in
+    the same order.
+    """
+    if op == "intersect":
+        decisions = _batched_intersect(
+            hw, items, stats, sweep_stats, restrict_search_space
+        )
+    elif op == "within_distance":
+        if distance is None:
+            raise ValueError("op 'within_distance' requires a distance")
+        decisions = _batched_within_distance(
+            hw, items, distance, stats, mindist_stats
+        )
+    elif op == "contains":
+        decisions = _batched_contains(hw, items, stats, sweep_stats)
+    else:
+        raise ValueError(f"unknown op {op!r}; expected one of {BATCH_OPS}")
+    return [item[0] for item, hit in zip(items, decisions) if hit]
+
+
+def _traced_verdicts(hw, op: str, pairs: List[PairWindow], d=None):
+    """Run one batched hardware call, recording a ``geometry.hw_batch`` span."""
+    from ..exec.trace import current_tracer
+
+    start = time.perf_counter()
+    if op == "within_distance":
+        verdicts = hw.distance_verdicts_batch(pairs, d)
+    else:
+        verdicts = hw.intersection_verdicts_batch(pairs)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.record(
+            "geometry.hw_batch",
+            time.perf_counter() - start,
+            op=op,
+            pairs=len(pairs),
+        )
+    return verdicts
+
+
+def _batched_intersect(
+    hw: HardwareSegmentTest,
+    items: Sequence[BatchItem],
+    stats: Optional[RefinementStats],
+    sweep_stats: Optional[SweepStats],
+    restrict_search_space: bool,
+) -> List[bool]:
+    """Algorithm 3.1 over a batch (mirrors ``hybrid_polygons_intersect``)."""
+    decisions = [False] * len(items)
+    hw_idx: List[int] = []
+    hw_pairs: List[PairWindow] = []
+    sweep_idx: List[int] = []
+    for k, (_, a, b) in enumerate(items):
+        if stats is not None:
+            stats.pairs_tested += 1
+        window = intersection_window(a.mbr, b.mbr)
+        if window is None:
+            continue
+        if _point_in_polygon_step(a, b, stats):
+            if stats is not None:
+                stats.pip_hits += 1
+                stats.positives += 1
+            decisions[k] = True
+            continue
+        if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+            if stats is not None:
+                stats.hw_tests += 1
+            hw_idx.append(k)
+            hw_pairs.append((a, b, window))
+        else:
+            if stats is not None:
+                stats.threshold_bypasses += 1
+            sweep_idx.append(k)
+
+    if hw_pairs:
+        for k, verdict in zip(
+            hw_idx, _traced_verdicts(hw, "intersect", hw_pairs)
+        ):
+            if verdict is HardwareVerdict.DISJOINT:
+                if stats is not None:
+                    stats.hw_rejects += 1
+            else:
+                sweep_idx.append(k)
+
+    for k in sweep_idx:
+        _, a, b = items[k]
+        if stats is not None:
+            stats.sw_segment_tests += 1
+        result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+        if result and stats is not None:
+            stats.positives += 1
+        decisions[k] = result
+    return decisions
+
+
+def _batched_within_distance(
+    hw: HardwareSegmentTest,
+    items: Sequence[BatchItem],
+    d: float,
+    stats: Optional[RefinementStats],
+    mindist_stats: Optional[MinDistStats],
+) -> List[bool]:
+    """Batched within-distance (mirrors ``hybrid_within_distance``)."""
+    if d < 0.0:
+        raise ValueError("distance must be non-negative")
+    decisions = [False] * len(items)
+    hw_idx: List[int] = []
+    hw_pairs: List[PairWindow] = []
+    soft_idx: List[int] = []
+    for k, (_, a, b) in enumerate(items):
+        if stats is not None:
+            stats.pairs_tested += 1
+        if not a.mbr.within_distance(b.mbr, d):
+            continue
+        if stats is not None and a.mbr.intersects(b.mbr):
+            if b.mbr.contains_point(a.vertices[0]):
+                stats.pip_edges += b.num_vertices
+            if a.mbr.contains_point(b.vertices[0]):
+                stats.pip_edges += a.num_vertices
+        if a.mbr.intersects(b.mbr) and either_contains(a, b):
+            if stats is not None:
+                stats.pip_hits += 1
+                stats.positives += 1
+            decisions[k] = True
+            continue
+        if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+            window = distance_window(a.mbr, b.mbr, d)
+            if stats is not None:
+                stats.hw_tests += 1
+            hw_idx.append(k)
+            hw_pairs.append((a, b, window))
+        else:
+            if stats is not None:
+                stats.threshold_bypasses += 1
+            soft_idx.append(k)
+
+    if hw_pairs:
+        for k, verdict in zip(
+            hw_idx, _traced_verdicts(hw, "within_distance", hw_pairs, d)
+        ):
+            if verdict is HardwareVerdict.DISJOINT:
+                if stats is not None:
+                    stats.hw_rejects += 1
+                continue
+            if verdict is HardwareVerdict.UNSUPPORTED and stats is not None:
+                stats.width_limit_fallbacks += 1
+            soft_idx.append(k)
+
+    for k in soft_idx:
+        _, a, b = items[k]
+        if stats is not None:
+            stats.sw_distance_tests += 1
+        result = (
+            min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats)
+            <= d
+        )
+        if result and stats is not None:
+            stats.positives += 1
+        decisions[k] = result
+    return decisions
+
+
+def _batched_contains(
+    hw: HardwareSegmentTest,
+    items: Sequence[BatchItem],
+    stats: Optional[RefinementStats],
+    sweep_stats: Optional[SweepStats],
+) -> List[bool]:
+    """Batched proper containment (mirrors ``hybrid_contains_properly``).
+
+    As in the serial test, a DISJOINT verdict *confirms*: the PIP witness
+    already placed ``b`` inside ``a``, so provably disjoint boundaries
+    mean containment with no sweep at all.
+    """
+    decisions = [False] * len(items)
+    hw_idx: List[int] = []
+    hw_pairs: List[PairWindow] = []
+    sweep_idx: List[int] = []
+    for k, (_, a, b) in enumerate(items):
+        if stats is not None:
+            stats.pairs_tested += 1
+        if not a.mbr.contains_rect(b.mbr):
+            continue
+        if stats is not None:
+            stats.pip_edges += a.num_vertices
+        if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+            continue
+        if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
+            window = intersection_window(a.mbr, b.mbr)
+            assert window is not None  # a.mbr contains b.mbr
+            if stats is not None:
+                stats.hw_tests += 1
+            hw_idx.append(k)
+            hw_pairs.append((a, b, window))
+        else:
+            if stats is not None:
+                stats.threshold_bypasses += 1
+            sweep_idx.append(k)
+
+    if hw_pairs:
+        for k, verdict in zip(
+            hw_idx, _traced_verdicts(hw, "contains", hw_pairs)
+        ):
+            if verdict is HardwareVerdict.DISJOINT:
+                if stats is not None:
+                    stats.hw_rejects += 1
+                    stats.positives += 1
+                decisions[k] = True
+            else:
+                sweep_idx.append(k)
+
+    for k in sweep_idx:
+        _, a, b = items[k]
+        if stats is not None:
+            stats.sw_segment_tests += 1
+        result = not boundaries_intersect(a, b, True, sweep_stats)
+        if result and stats is not None:
+            stats.positives += 1
+        decisions[k] = result
+    return decisions

@@ -47,6 +47,10 @@ class HardwareConfig:
     #: approach the paper's section 5 announces as future work.
     distance_mode: str = "lines"
     limits: DeviceLimits = field(default_factory=DeviceLimits)
+    #: Upper bound on pair tests packed into one tiled-refinement atlas
+    #: submission (:class:`~repro.gpu.tiled.TiledPipeline`); the effective
+    #: capacity is also bounded by the device viewport limit.
+    batch_tiles: int = 256
 
     def __post_init__(self) -> None:
         if self.method not in OVERLAP_METHODS:
@@ -68,6 +72,8 @@ class HardwareConfig:
             )
         if self.sw_threshold < 0:
             raise ValueError(f"sw_threshold must be >= 0, got {self.sw_threshold}")
+        if self.batch_tiles < 1:
+            raise ValueError(f"batch_tiles must be >= 1, got {self.batch_tiles}")
 
     def use_hardware_for(self, total_vertices: int) -> bool:
         """Section 4.3: hardware only pays off above the software threshold."""

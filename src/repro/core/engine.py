@@ -15,11 +15,12 @@ experiments can report work distribution alongside wall-clock time.
 
 from __future__ import annotations
 
-from typing import Optional, Protocol
+from typing import Any, List, Optional, Protocol, Sequence, Tuple
 
 from ..geometry.min_dist import MinDistStats
 from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats
+from .batch import refine_pairs_batched
 from .config import HardwareConfig
 from .containment import hybrid_contains_properly, software_contains_properly
 from .distance import hybrid_within_distance, software_within_distance
@@ -52,6 +53,10 @@ class RefinementEngine(Protocol):
 
 class SoftwareEngine:
     """Software-only refinement (the paper's baseline algorithms)."""
+
+    #: No fixed per-test overhead to amortize: the software engine gains
+    #: nothing from batching, so pipelines keep their per-pair loop.
+    supports_batch = False
 
     def __init__(self, restrict_search_space: bool = True) -> None:
         self.name = "software"
@@ -88,6 +93,11 @@ class SoftwareEngine:
 class HardwareEngine:
     """Hardware-assisted refinement (Algorithm 3.1 + distance extension)."""
 
+    #: The hardware engine amortizes its fixed per-test overhead by packing
+    #: many pair tests into one atlas submission; pipelines that see this
+    #: flag hand the engine whole candidate batches via :meth:`refine_batch`.
+    supports_batch = True
+
     def __init__(self, config: Optional[HardwareConfig] = None) -> None:
         self.config = config if config is not None else HardwareConfig()
         self.name = f"hardware[{self.config.resolution}x{self.config.resolution}]"
@@ -114,6 +124,32 @@ class HardwareEngine:
     def contains_properly(self, a: Polygon, b: Polygon) -> bool:
         return hybrid_contains_properly(
             a, b, self.hw, stats=self.stats, sweep_stats=self.sweep_stats
+        )
+
+    def refine_batch(
+        self,
+        op: str,
+        items: Sequence[Tuple[Any, Polygon, Polygon]],
+        distance: Optional[float] = None,
+    ) -> List[Any]:
+        """Refine a whole candidate batch with batched hardware tests.
+
+        ``op`` is ``"intersect"``, ``"within_distance"`` (requires
+        ``distance``), or ``"contains"``; ``items`` are ``(key, a, b)``
+        work units.  Returns the keys of matching pairs in item order.
+        Decisions and accumulated statistics are bit-identical to calling
+        the corresponding per-pair predicate over ``items`` in order -
+        only the number of hardware submissions (and therefore the fixed
+        per-test overhead) changes.
+        """
+        return refine_pairs_batched(
+            self.hw,
+            op,
+            items,
+            distance=distance,
+            stats=self.stats,
+            sweep_stats=self.sweep_stats,
+            mindist_stats=self.mindist_stats,
         )
 
     def reset_stats(self) -> None:

@@ -16,9 +16,13 @@ serial one -
 * matched keys concatenate in shard order (shards are contiguous slices,
   so this reproduces the serial visiting order exactly);
 * :class:`~repro.core.stats.RefinementStats`, the sweep/minDist work
-  counters, and the GPU primitive :class:`~repro.gpu.costmodel.CostCounters`
-  are additive per pair, so summing per-shard deltas reproduces the serial
-  totals bit for bit;
+  counters, and the per-primitive GPU
+  :class:`~repro.gpu.costmodel.CostCounters` fields are additive per pair,
+  so summing per-shard deltas reproduces the serial totals bit for bit.
+  (Submission-side counters - draw calls, clears, accumulation/Minmax
+  ops, tile batches - count fixed per-submission overhead; under the
+  batched hardware path their totals depend on where shard boundaries cut
+  the candidate list, exactly as they would across multiple real GPUs.);
 * per-shard wall-clock timings surface as child trace spans
   (:mod:`repro.exec.trace`) under the enclosing pipeline stage.
 """
@@ -124,7 +128,14 @@ def _refine_with(
     distance: Optional[float],
     items: Sequence[WorkItem],
 ) -> List[Any]:
-    """Refine ``items`` with ``engine``; the shared serial/worker inner loop."""
+    """Refine ``items`` with ``engine``; the shared serial/worker inner loop.
+
+    Engines advertising ``supports_batch`` get the whole shard at once so
+    their fixed per-test overhead amortizes (identical results and stats
+    either way); others run the per-pair predicate loop.
+    """
+    if getattr(engine, "supports_batch", False):
+        return engine.refine_batch(op, items, distance=distance)
     predicate = _op_callable(engine, op, distance)
     return [key for key, a, b in items if predicate(a, b)]
 

@@ -19,8 +19,13 @@ from .raster_line import (
     rasterize_line_basic,
 )
 from .raster_point import rasterize_point_basic, rasterize_point_conservative
-from .raster_bulk import edges_coverage_mask, rasterize_edges_bulk
+from .raster_bulk import (
+    edges_coverage_mask,
+    edges_coverage_masks_grouped,
+    rasterize_edges_bulk,
+)
 from .raster_polygon import polygon_coverage_mask, rasterize_polygon_evenodd
+from .tiled import TiledPipeline, atlas_layout
 from .voronoi import discrete_voronoi, site_distances_at
 from .state import (
     DEFAULT_AA_LINE_WIDTH,
@@ -40,10 +45,13 @@ __all__ = [
     "GraphicsPipeline",
     "OVERLAP_COLOR",
     "RasterState",
+    "TiledPipeline",
     "aa_rect_axes",
+    "atlas_layout",
     "discrete_voronoi",
     "distance_field",
     "edges_coverage_mask",
+    "edges_coverage_masks_grouped",
     "min_center_distance",
     "rasterize_edges_bulk",
     "site_distances_at",

@@ -34,6 +34,14 @@ class CostCounters:
     distance_field_pixels: int = 0
     readback_ops: int = 0
     pixels_transferred: int = 0
+    #: Tiled-refinement batches submitted (one atlas render + per-tile
+    #: Minmax round-trip, however many pair tests it carried).
+    tile_batches: int = 0
+    #: Pair tests packed into atlas tiles across all batches.  Together
+    #: with ``tile_batches`` this exposes the amortization the batched
+    #: path claims: per-submission overheads (draw calls, clears, accum
+    #: transfers, Minmax round-trips) are paid per *batch*, not per pair.
+    tiles_packed: int = 0
 
     def reset(self) -> None:
         for name in self.__dataclass_fields__:

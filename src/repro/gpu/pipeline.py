@@ -38,6 +38,29 @@ from .state import DeviceLimits, RasterState
 Coords = Sequence[Tuple[float, float]]
 
 
+def uniform_window_scale(width: int, height: int, window: Rect) -> float:
+    """The uniform (isotropic) scale projecting ``window`` into a viewport.
+
+    The scale is the largest uniform one that maps the *entire* window
+    inside the ``width x height`` pixel grid: per axis the window extent
+    must fit its viewport dimension, so the binding axis decides.  Using
+    ``max(width, height) / max-span`` instead (the historical formula) can
+    push part of the window outside a non-square viewport; pixels lost
+    there are lost for both rendered boundaries, so the hardware test could
+    miss an overlap and report a false DISJOINT - breaking the paper's
+    no-false-negative guarantee.  Degenerate (zero-extent) axes impose no
+    constraint; a fully degenerate window maps to the first pixel at scale
+    1.  For square viewports this is bit-identical to the historical
+    formula (division is monotone in the divisor).
+    """
+    span = max(window.width, window.height)
+    if span <= 0.0:
+        return 1.0
+    sx = width / window.width if window.width > 0.0 else math.inf
+    sy = height / window.height if window.height > 0.0 else math.inf
+    return min(sx, sy)
+
+
 class GraphicsPipeline:
     """A reusable rendering context of fixed resolution.
 
@@ -92,15 +115,15 @@ class GraphicsPipeline:
     def set_data_window(self, window: Rect) -> None:
         """Project ``window`` onto the viewport with uniform scale.
 
-        The window's longer side spans the corresponding viewport dimension;
+        The window's binding side spans its viewport dimension and the whole
+        window maps inside the pixel grid (:func:`uniform_window_scale`);
         uniform scaling means a data-space distance D maps to ``D * scale``
         pixels in every direction, which Equation (1) relies on.  Degenerate
         (zero-extent) windows are legal - they arise when two MBRs touch
         along an edge or corner - and map everything to the first pixel.
         """
-        span = max(window.width, window.height)
         self._window = window
-        self._scale = (max(self.width, self.height) / span) if span > 0.0 else 1.0
+        self._scale = uniform_window_scale(self.width, self.height, window)
         self._offset4 = np.array(
             [window.xmin, window.ymin, window.xmin, window.ymin], dtype=np.float64
         )
@@ -349,6 +372,7 @@ class GraphicsPipeline:
         avoids filling entirely.  The simulation offers it for completeness
         (visualizations, the interior-filter reference path).
         """
+        self.state.validate(self.limits)
         self.counters.draw_calls += 1
         window_coords = [self.data_to_window(x, y) for x, y in coords]
         written = rasterize_polygon_evenodd(

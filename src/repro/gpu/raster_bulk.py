@@ -94,6 +94,71 @@ def rasterize_edges_bulk(
     return written
 
 
+def edges_coverage_masks_grouped(
+    shape,
+    edges: np.ndarray,
+    group_sizes: np.ndarray,
+    widths_px,
+    cap_points: bool = False,
+) -> np.ndarray:
+    """Per-group coverage masks of one bulk draw call: ``(G, H, W)`` bool.
+
+    ``edges`` holds the segments of all ``G`` groups concatenated in group
+    order (``group_sizes[k]`` edges for group ``k``; zero-edge groups are
+    legal and yield empty masks).  ``widths_px`` is a scalar or a per-group
+    array of line widths.  Each group's mask equals
+    :func:`edges_coverage_mask` applied to that group's edges at that
+    group's width - the per-edge footprint math is shared, so batching many
+    groups into one call cannot change any pixel.  This is the tiled
+    pipeline's bulk rasterization primitive: every tile of an atlas batch
+    is one group, rasterized in tile-local coordinates.
+    """
+    height, width = shape
+    if edges.ndim != 2 or edges.shape[1] != 4:
+        raise ValueError(f"edges must be (E, 4), got {edges.shape}")
+    sizes = np.asarray(group_sizes, dtype=np.intp)
+    if sizes.ndim != 1:
+        raise ValueError("group_sizes must be a 1-d sequence")
+    if (sizes < 0).any():
+        raise ValueError("group sizes must be non-negative")
+    n_groups = sizes.shape[0]
+    n_edges = edges.shape[0]
+    if int(sizes.sum()) != n_edges:
+        raise ValueError(
+            f"group sizes sum to {int(sizes.sum())}, expected {n_edges} edges"
+        )
+    widths = np.asarray(widths_px, dtype=np.float64)
+    if (widths <= 0.0).any():
+        raise ValueError("line width must be positive")
+    masks = np.zeros((n_groups, height, width), dtype=bool)
+    if n_edges == 0:
+        return masks
+    cx, cy = _pixel_centers(height, width)
+    gid = np.repeat(np.arange(n_groups, dtype=np.intp), sizes)
+    if widths.ndim == 0:
+        hv_edges = None
+        hv_scalar = float(widths) * 0.5
+    else:
+        if widths.shape != (n_groups,):
+            raise ValueError(
+                f"widths_px must be scalar or ({n_groups},), got {widths.shape}"
+            )
+        hv_edges = (widths * 0.5)[gid]
+        hv_scalar = 0.0
+    chunk = max(1, _CHUNK_BUDGET // (height * width))
+    for start in range(0, n_edges, chunk):
+        stop = min(start + chunk, n_edges)
+        ids = gid[start:stop]
+        hv = hv_scalar if hv_edges is None else hv_edges[start:stop]
+        hits = _chunk_hits(edges[start:stop], cx, cy, hv, cap_points)
+        # Edges arrive grouped, so equal-id runs are contiguous: one
+        # reduceat ORs each run, then the run masks fold into the output.
+        first = np.flatnonzero(np.r_[True, ids[1:] != ids[:-1]])
+        partial = np.logical_or.reduceat(hits, first, axis=0)
+        masks[ids[first]] |= partial
+    return masks
+
+
 def _chunk_mask(
     e: np.ndarray,
     cx: np.ndarray,
@@ -102,6 +167,22 @@ def _chunk_mask(
     cap_points: bool,
 ) -> np.ndarray:
     """Footprint mask (H, W) for one chunk of edges."""
+    return _chunk_hits(e, cx, cy, hv, cap_points).any(axis=0)
+
+
+def _chunk_hits(
+    e: np.ndarray,
+    cx: np.ndarray,
+    cy: np.ndarray,
+    hv,
+    cap_points: bool,
+) -> np.ndarray:
+    """Per-edge footprint hits (E, H, W) for one chunk of edges.
+
+    ``hv`` (the half line width) is a scalar or an (E,) array; per-edge
+    widths are what let one bulk call rasterize tiles whose projections
+    assign different pixel widths to the same query distance.
+    """
     x0 = e[:, 0]
     y0 = e[:, 1]
     x1 = e[:, 2]
@@ -127,7 +208,7 @@ def _chunk_mask(
 
     ux3 = ux[:, None, None]
     uy3 = uy[:, None, None]
-    rect_hit = (
+    hit = (
         (np.abs(gx) <= (hu * aux + hv * auy + 0.5 + COVERAGE_EPS)[:, None, None])
         & (np.abs(gy) <= (hu * auy + hv * aux + 0.5 + COVERAGE_EPS)[:, None, None])
         & (np.abs(gx * ux3 + gy * uy3) <= (hu + cell + COVERAGE_EPS)[:, None, None])
@@ -135,20 +216,23 @@ def _chunk_mask(
     )
     if any_degenerate:
         # Degenerate edges fall back to the end-point square unconditionally.
-        rect_hit &= ~degenerate[:, None, None]
-    mask = rect_hit.any(axis=0)
+        hit &= ~degenerate[:, None, None]
 
     if cap_points or any_degenerate:
+        half = hv + 0.5 + COVERAGE_EPS
+        half3 = half[:, None, None] if isinstance(half, np.ndarray) else half
         if cap_points:
-            px = np.concatenate([x0, x1])
-            py = np.concatenate([y0, y1])
+            cap = (
+                (np.abs(cx[None, None, :] - x0[:, None, None]) <= half3)
+                & (np.abs(cy[None, :, None] - y0[:, None, None]) <= half3)
+            ) | (
+                (np.abs(cx[None, None, :] - x1[:, None, None]) <= half3)
+                & (np.abs(cy[None, :, None] - y1[:, None, None]) <= half3)
+            )
         else:
-            px = x0[degenerate]
-            py = y0[degenerate]
-        if px.size:
-            half = hv + 0.5 + COVERAGE_EPS
-            cap_hit = (
-                np.abs(cx[None, None, :] - px[:, None, None]) <= half
-            ) & (np.abs(cy[None, :, None] - py[:, None, None]) <= half)
-            mask |= cap_hit.any(axis=0)
-    return mask
+            cap = (
+                (np.abs(cx[None, None, :] - x0[:, None, None]) <= half3)
+                & (np.abs(cy[None, :, None] - y0[:, None, None]) <= half3)
+            ) & degenerate[:, None, None]
+        hit |= cap
+    return hit

@@ -1,0 +1,310 @@
+"""Tiled batch rendering: many pairwise tests in one atlas submission.
+
+The paper's cost trade-off (section 4.3) exists because every hardware test
+pays a fixed per-submission price - draw-call setup, buffer clears,
+accumulation transfers, and the Minmax round-trip - on top of the per-pixel
+work.  Real GPU join pipelines amortize that price by batching many
+independent tests into one submission (3DPipe's pipelined spatial join;
+raster-interval approximations reused across a whole join).  This module is
+that batching layer for the simulated card:
+
+* each candidate pair gets one **tile** of a shared atlas frame buffer;
+* each tile carries its own viewport transform (the pair's projection
+  window, exactly as :meth:`~repro.gpu.pipeline.GraphicsPipeline.set_data_window`
+  would compute it);
+* the edges of *all* pairs' first boundaries are rasterized in one bulk
+  call (:func:`~repro.gpu.raster_bulk.edges_coverage_masks_grouped`), then
+  all second boundaries likewise;
+* one **per-tile Minmax reduction** over the atlas returns every pair's
+  verdict at once.
+
+Conservativeness is preserved tile by tile: a tile's pixels are exactly the
+pixels the per-pair pipeline would have rendered (tile-local coordinates,
+identical footprint math), and the per-tile maximum of the accumulated
+image is exactly the whole-buffer Minmax of the per-pair test.  Tiles never
+share pixels, so batching cannot create or destroy overlap - batched
+verdicts are bit-identical to the serial loop's.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.rect import Rect
+from .framebuffer import Framebuffer
+from .pipeline import GraphicsPipeline, uniform_window_scale
+from .raster_bulk import edges_coverage_masks_grouped
+
+#: Gray level each boundary is rendered with (Algorithm 3.1's 0.5).
+_EDGE_COLOR = np.float32(0.5)
+
+
+class TiledPipeline:
+    """Batches pair tests as tiles of one atlas frame buffer.
+
+    Wraps a :class:`~repro.gpu.pipeline.GraphicsPipeline` whose viewport
+    defines the tile size; the atlas is a ``grid_cols x grid_rows`` grid of
+    such tiles, bounded by the device viewport limit and ``max_tiles``.
+    All primitive-operation accounting lands in the *base* pipeline's
+    :class:`~repro.gpu.costmodel.CostCounters`, so engines report one
+    consistent cost stream whether they test pairs one by one or batched.
+    """
+
+    def __init__(self, base: GraphicsPipeline, max_tiles: int = 256) -> None:
+        if max_tiles < 1:
+            raise ValueError(f"max_tiles must be >= 1, got {max_tiles}")
+        self.base = base
+        self.tile_width = base.width
+        self.tile_height = base.height
+        limit = base.limits.max_viewport
+        max_cols = max(1, limit // self.tile_width)
+        max_rows = max(1, limit // self.tile_height)
+        side = max(1, math.isqrt(max_tiles))
+        self.grid_cols = min(side, max_cols)
+        self.grid_rows = min(
+            max(1, -(-max_tiles // self.grid_cols)), max_rows
+        )
+        #: Pair tests one atlas submission can carry.
+        self.capacity = self.grid_cols * self.grid_rows
+        self.fb = Framebuffer(
+            self.grid_cols * self.tile_width, self.grid_rows * self.tile_height
+        )
+
+    @property
+    def counters(self):
+        """The shared cost counters (the base pipeline's)."""
+        return self.base.counters
+
+    # -- the batched test -------------------------------------------------
+
+    def overlap_flags(
+        self,
+        edges_a: Sequence[np.ndarray],
+        edges_b: Sequence[np.ndarray],
+        windows: Sequence[Rect],
+        widths_px,
+        cap_points: bool,
+        threshold: float,
+    ) -> np.ndarray:
+        """One overlap verdict per pair: ``True`` iff boundaries share a pixel.
+
+        ``edges_a[k]`` / ``edges_b[k]`` are the two boundaries' ``(E, 4)``
+        data-space edge arrays, ``windows[k]`` the pair's projection window,
+        and ``widths_px`` the rendered line width (scalar, or one per pair
+        for distance tests whose projections differ).  Pairs are packed
+        ``capacity`` tiles at a time; each sub-batch is one atlas
+        submission traced as a ``gpu.tile_batch`` span.
+        """
+        n = len(windows)
+        if not (len(edges_a) == len(edges_b) == n):
+            raise ValueError("edges_a, edges_b, and windows must align")
+        widths = np.asarray(widths_px, dtype=np.float64)
+        if widths.ndim not in (0, 1):
+            raise ValueError("widths_px must be a scalar or a 1-d array")
+        if widths.ndim == 1 and widths.shape[0] != n:
+            raise ValueError(
+                f"widths_px has {widths.shape[0]} entries for {n} pairs"
+            )
+        flags = np.zeros(n, dtype=bool)
+        for start in range(0, n, self.capacity):
+            stop = min(start + self.capacity, n)
+            w = widths if widths.ndim == 0 else widths[start:stop]
+            began = time.perf_counter()
+            sub_flags, edge_count = self._run_batch(
+                edges_a[start:stop],
+                edges_b[start:stop],
+                windows[start:stop],
+                w,
+                cap_points,
+                threshold,
+            )
+            flags[start:stop] = sub_flags
+            # Imported lazily: pulling repro.exec at module import time
+            # would cycle back into repro.core -> repro.gpu.
+            from ..exec.trace import current_tracer
+
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.record(
+                    "gpu.tile_batch",
+                    time.perf_counter() - began,
+                    tiles=stop - start,
+                    edges=edge_count,
+                    atlas=f"{self.fb.width}x{self.fb.height}",
+                )
+        return flags
+
+    def _run_batch(
+        self,
+        edges_a: Sequence[np.ndarray],
+        edges_b: Sequence[np.ndarray],
+        windows: Sequence[Rect],
+        widths,
+        cap_points: bool,
+        threshold: float,
+    ) -> Tuple[np.ndarray, int]:
+        """Render one atlas batch (<= capacity pairs) and reduce per tile."""
+        k = len(windows)
+        counters = self.base.counters
+        # Per-tile viewport transforms, exactly as set_data_window computes
+        # them for the per-pair path.
+        scales = np.array(
+            [
+                uniform_window_scale(self.tile_width, self.tile_height, w)
+                for w in windows
+            ],
+            dtype=np.float64,
+        )
+        offsets = np.array(
+            [[w.xmin, w.ymin, w.xmin, w.ymin] for w in windows],
+            dtype=np.float64,
+        )
+        pads = (widths if isinstance(widths, np.ndarray) else np.float64(widths)) + 1.0
+
+        masks_a = self._bulk_rasterize(
+            edges_a, scales, offsets, pads, widths, cap_points
+        )
+        masks_b = self._bulk_rasterize(
+            edges_b, scales, offsets, pads, widths, cap_points
+        )
+        edge_count = sum(int(e.shape[0]) for e in edges_a) + sum(
+            int(e.shape[0]) for e in edges_b
+        )
+
+        # Atlas assembly: clear once for the whole batch, then the two
+        # accumulation transfers and the return (Algorithm 3.1 steps
+        # 2.2-2.7 at batch granularity).
+        self.fb.clear_color()
+        counters.buffer_clears += 1
+        counters.pixels_cleared += self.fb.width * self.fb.height
+        tiles = np.zeros(
+            (self.capacity, self.tile_height, self.tile_width),
+            dtype=np.float32,
+        )
+        tiles[:k] = (
+            masks_a.astype(np.float32) + masks_b.astype(np.float32)
+        ) * _EDGE_COLOR
+        self.fb.color[:] = (
+            tiles.reshape(
+                self.grid_rows, self.grid_cols, self.tile_height, self.tile_width
+            )
+            .transpose(0, 2, 1, 3)
+            .reshape(self.fb.height, self.fb.width)
+        )
+        counters.accum_ops += 3
+
+        # Per-tile Minmax reduction over the atlas: one scan returns every
+        # tile's maximum accumulated gray level.
+        tile_max = (
+            self.fb.color.reshape(
+                self.grid_rows, self.tile_height, self.grid_cols, self.tile_width
+            )
+            .max(axis=(1, 3))
+            .reshape(-1)[:k]
+        )
+        counters.minmax_ops += 1
+        counters.pixels_scanned += self.fb.width * self.fb.height
+        counters.tile_batches += 1
+        counters.tiles_packed += k
+        return tile_max >= np.float32(threshold), edge_count
+
+    def _bulk_rasterize(
+        self,
+        edge_sets: Sequence[np.ndarray],
+        scales: np.ndarray,
+        offsets: np.ndarray,
+        pads,
+        widths,
+        cap_points: bool,
+    ) -> np.ndarray:
+        """One bulk draw call over all tiles' edges -> (K, th, tw) masks.
+
+        Transform and clip run per edge with that edge's tile projection -
+        elementwise the same float operations the per-pair pipeline
+        performs - then every surviving edge rasterizes in one grouped
+        coverage pass.
+        """
+        k = len(edge_sets)
+        counters = self.base.counters
+        counters.draw_calls += 1
+        counts = np.array([e.shape[0] for e in edge_sets], dtype=np.intp)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(
+                (k, self.tile_height, self.tile_width), dtype=bool
+            )
+        gid = np.repeat(np.arange(k, dtype=np.intp), counts)
+        stacked = np.concatenate(
+            [e for e in edge_sets if e.shape[0]], axis=0
+        )
+        edges = (stacked - offsets[gid]) * scales[gid, None]
+
+        # Clipping stage, per tile-local viewport (identical test to
+        # GraphicsPipeline.draw_edges_array).
+        pad = pads[gid] if isinstance(pads, np.ndarray) and pads.ndim else pads
+        x_lo = np.minimum(edges[:, 0], edges[:, 2])
+        x_hi = np.maximum(edges[:, 0], edges[:, 2])
+        y_lo = np.minimum(edges[:, 1], edges[:, 3])
+        y_hi = np.maximum(edges[:, 1], edges[:, 3])
+        keep = (
+            (x_hi >= -pad)
+            & (x_lo <= self.tile_width + pad)
+            & (y_hi >= -pad)
+            & (y_lo <= self.tile_height + pad)
+        )
+        kept = int(np.count_nonzero(keep))
+        counters.edges_rendered += kept
+        counters.edges_clipped_away += total - kept
+        if kept == 0:
+            return np.zeros(
+                (k, self.tile_height, self.tile_width), dtype=bool
+            )
+        kept_sizes = np.bincount(gid[keep], minlength=k)
+        masks = edges_coverage_masks_grouped(
+            (self.tile_height, self.tile_width),
+            edges[keep],
+            kept_sizes,
+            widths,
+            cap_points=cap_points,
+        )
+        counters.pixels_written += int(np.count_nonzero(masks))
+        return masks
+
+    # -- introspection ----------------------------------------------------
+
+    def read_atlas(self) -> np.ndarray:
+        """Full atlas readback (the expensive path; debug/visualization)."""
+        counters = self.base.counters
+        counters.readback_ops += 1
+        counters.pixels_transferred += self.fb.width * self.fb.height
+        return self.fb.read_pixels("color")
+
+    def tile_image(self, index: int) -> np.ndarray:
+        """One tile of the last batch's atlas (from :meth:`read_atlas`)."""
+        if not 0 <= index < self.capacity:
+            raise IndexError(f"tile {index} outside capacity {self.capacity}")
+        row, col = divmod(index, self.grid_cols)
+        atlas = self.read_atlas()
+        return atlas[
+            row * self.tile_height : (row + 1) * self.tile_height,
+            col * self.tile_width : (col + 1) * self.tile_width,
+        ]
+
+
+def atlas_layout(
+    resolution: int, max_tiles: int = 256, max_viewport: Optional[int] = None
+) -> Tuple[int, int]:
+    """(cols, rows) of the atlas grid a TiledPipeline would allocate."""
+    limit = max_viewport if max_viewport is not None else 2048
+    max_side = max(1, limit // resolution)
+    side = max(1, math.isqrt(max_tiles))
+    cols = min(side, max_side)
+    rows = min(max(1, -(-max_tiles // cols)), max_side)
+    return cols, rows
+
+
+__all__: List[str] = ["TiledPipeline", "atlas_layout"]

@@ -25,10 +25,12 @@ class CostBreakdown:
     intermediate_filter_s: float = 0.0
     geometry_s: float = 0.0
 
-    candidates_after_mbr: int = 0
-    filter_positives: int = 0
-    pairs_compared: int = 0
-    results: int = 0
+    # Counts are ints for a single query; a :meth:`scaled` query-set mean
+    # holds float averages in the same fields.
+    candidates_after_mbr: float = 0
+    filter_positives: float = 0
+    pairs_compared: float = 0
+    results: float = 0
 
     @property
     def total_s(self) -> float:
@@ -46,15 +48,21 @@ class CostBreakdown:
         self.results += other.results
 
     def scaled(self, factor: float) -> "CostBreakdown":
-        """A copy with timings multiplied by ``factor`` (e.g. per-query mean)."""
+        """A copy with every field multiplied by ``factor``.
+
+        Used to turn a merged query-set total into a per-query mean.  The
+        count fields scale along with the timings (as float means) - a
+        50-query average that kept the *summed* candidate counts next to
+        *averaged* timings would overstate per-query filtering work 50x.
+        """
         return CostBreakdown(
             mbr_filter_s=self.mbr_filter_s * factor,
             intermediate_filter_s=self.intermediate_filter_s * factor,
             geometry_s=self.geometry_s * factor,
-            candidates_after_mbr=self.candidates_after_mbr,
-            filter_positives=self.filter_positives,
-            pairs_compared=self.pairs_compared,
-            results=self.results,
+            candidates_after_mbr=self.candidates_after_mbr * factor,
+            filter_positives=self.filter_positives * factor,
+            pairs_compared=self.pairs_compared * factor,
+            results=self.results * factor,
         )
 
     @classmethod

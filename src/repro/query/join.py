@@ -42,6 +42,7 @@ class IntersectionJoin:
         engine: RefinementEngine,
         use_hull_filter: bool = False,
         executor: Optional[ParallelExecutor] = None,
+        use_batch: bool = True,
     ) -> None:
         self.dataset_a = dataset_a
         self.dataset_b = dataset_b
@@ -51,6 +52,9 @@ class IntersectionJoin:
         #: executor's worker pool; results and stats are identical to the
         #: serial loop (see :mod:`repro.exec.parallel`).
         self.executor = executor
+        #: Batch the geometry stage through ``engine.refine_batch`` when the
+        #: engine supports it (identical results/stats; amortized overhead).
+        self.use_batch = use_batch
         self.hulls_a: ConvexHullFilter | None = None
         self.hulls_b: ConvexHullFilter | None = None
         if use_hull_filter:
@@ -86,6 +90,10 @@ class IntersectionJoin:
                 results.extend(
                     self.executor.refine_pairs(self.engine, "intersect", items)
                 )
+                cost.pairs_compared += len(candidates)
+            elif self.use_batch and getattr(self.engine, "supports_batch", False):
+                items = [((i, j), polys_a[i], polys_b[j]) for i, j in candidates]
+                results.extend(self.engine.refine_batch("intersect", items))
                 cost.pairs_compared += len(candidates)
             else:
                 for i, j in candidates:

@@ -46,6 +46,7 @@ class WithinDistanceJoin:
         use_one_object: bool = True,
         use_hull_filter: bool = False,
         executor: Optional[ParallelExecutor] = None,
+        use_batch: bool = True,
     ) -> None:
         self.dataset_a = dataset_a
         self.dataset_b = dataset_b
@@ -53,6 +54,9 @@ class WithinDistanceJoin:
         #: Optional parallel batch executor for the geometry stage
         #: (identical results/stats to the serial loop).
         self.executor = executor
+        #: Batch the geometry stage through ``engine.refine_batch`` when the
+        #: engine supports it (identical results/stats; amortized overhead).
+        self.use_batch = use_batch
         self.use_zero_object = use_zero_object
         self.use_one_object = use_one_object
         self.use_hull_filter = use_hull_filter
@@ -115,6 +119,14 @@ class WithinDistanceJoin:
                 results.extend(
                     self.executor.refine_pairs(
                         self.engine, "within_distance", items, distance=d
+                    )
+                )
+                cost.pairs_compared += len(remaining)
+            elif self.use_batch and getattr(self.engine, "supports_batch", False):
+                items = [((i, j), polys_a[i], polys_b[j]) for i, j in remaining]
+                results.extend(
+                    self.engine.refine_batch(
+                        "within_distance", items, distance=d
                     )
                 )
                 cost.pairs_compared += len(remaining)

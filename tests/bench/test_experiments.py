@@ -43,6 +43,7 @@ class TestRegistry:
             "ablation-overlap-methods",
             "ablation-projection",
             "exec-parallel",
+            "batch-refine",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

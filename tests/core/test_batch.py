@@ -1,0 +1,224 @@
+"""Batched refinement must be bit-identical to the serial per-pair loop.
+
+The tentpole guarantee of the tiled hardware path: packing pair tests into
+one atlas submission changes *how many* hardware submissions happen, never
+a verdict, a matched key, or a statistics counter.  These tests compare the
+batched APIs against fresh serial runs over the same inputs - for every
+overlap method, for all three predicates, and through the query pipeline.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BATCH_OPS,
+    OVERLAP_METHODS,
+    HardwareConfig,
+    HardwareEngine,
+    HardwareSegmentTest,
+    SoftwareEngine,
+    intersection_window,
+    refine_pairs_batched,
+)
+from repro.core.projection import distance_window
+from repro.datasets import (
+    GeneratorConfig,
+    SpatialDataset,
+    VertexCountModel,
+    generate_layer,
+)
+from repro.geometry import Rect
+from repro.query import IntersectionSelection
+from tests.strategies import polygon_pairs_nearby
+
+DISTANCE = 1.5
+
+
+def pair_lists(min_size=1, max_size=12):
+    return st.lists(polygon_pairs_nearby(), min_size=min_size, max_size=max_size)
+
+
+def windowed(pairs):
+    """(a, b, window) triples for the pairs whose MBRs interact."""
+    out = []
+    for a, b in pairs:
+        w = intersection_window(a.mbr, b.mbr)
+        if w is not None:
+            out.append((a, b, w))
+    return out
+
+
+class TestVerdictEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(pair_lists(), st.sampled_from(OVERLAP_METHODS))
+    def test_intersection_batch_matches_serial(self, pairs, method):
+        config = HardwareConfig(resolution=8, method=method)
+        triples = windowed(pairs)
+        serial = [
+            HardwareSegmentTest(config).intersection_verdict(a, b, w)
+            for a, b, w in triples
+        ]
+        batched = HardwareSegmentTest(config).intersection_verdicts_batch(
+            triples
+        )
+        assert batched == serial
+
+    @settings(max_examples=20, deadline=None)
+    @given(pair_lists(), st.sampled_from(OVERLAP_METHODS))
+    def test_distance_batch_matches_serial(self, pairs, method):
+        config = HardwareConfig(resolution=8, method=method)
+        triples = [
+            (a, b, distance_window(a.mbr, b.mbr, DISTANCE)) for a, b in pairs
+        ]
+        serial = [
+            HardwareSegmentTest(config).distance_verdict(a, b, w, DISTANCE)
+            for a, b, w in triples
+        ]
+        batched = HardwareSegmentTest(config).distance_verdicts_batch(
+            triples, DISTANCE
+        )
+        assert batched == serial
+
+    def test_empty_batches(self):
+        hw = HardwareSegmentTest(HardwareConfig())
+        assert hw.intersection_verdicts_batch([]) == []
+        assert hw.distance_verdicts_batch([], 1.0) == []
+
+    def test_negative_distance_rejected(self):
+        hw = HardwareSegmentTest(HardwareConfig())
+        with pytest.raises(ValueError):
+            hw.distance_verdicts_batch([], -1.0)
+
+
+def serial_keys(engine, op, items, distance):
+    if op == "intersect":
+        return [k for k, a, b in items if engine.polygons_intersect(a, b)]
+    if op == "within_distance":
+        return [k for k, a, b in items if engine.within_distance(a, b, distance)]
+    return [k for k, a, b in items if engine.contains_properly(a, b)]
+
+
+class TestEngineBatchEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(pair_lists(max_size=10), st.sampled_from(BATCH_OPS))
+    def test_refine_batch_matches_serial(self, pairs, op):
+        items = [((k,), a, b) for k, (a, b) in enumerate(pairs)]
+        serial_engine = HardwareEngine()
+        batch_engine = HardwareEngine()
+        expected = serial_keys(serial_engine, op, items, DISTANCE)
+        got = batch_engine.refine_batch(op, items, distance=DISTANCE)
+        assert got == expected
+        assert batch_engine.stats == serial_engine.stats
+        assert batch_engine.sweep_stats == serial_engine.sweep_stats
+        assert batch_engine.mindist_stats == serial_engine.mindist_stats
+
+    @settings(max_examples=10, deadline=None)
+    @given(pair_lists(max_size=8))
+    def test_sw_threshold_split_is_preserved(self, pairs):
+        # With a mid-range sw_threshold some pairs bypass the hardware;
+        # batching must reproduce the exact same split and totals.
+        config = HardwareConfig(resolution=8, sw_threshold=24)
+        items = [((k,), a, b) for k, (a, b) in enumerate(pairs)]
+        serial_engine = HardwareEngine(config)
+        batch_engine = HardwareEngine(config)
+        expected = serial_keys(serial_engine, "intersect", items, None)
+        got = batch_engine.refine_batch("intersect", items)
+        assert got == expected
+        assert batch_engine.stats == serial_engine.stats
+
+    def test_unknown_op_rejected(self):
+        engine = HardwareEngine()
+        with pytest.raises(ValueError):
+            engine.refine_batch("union", [])
+
+    def test_within_distance_requires_distance(self):
+        engine = HardwareEngine()
+        with pytest.raises(ValueError):
+            engine.refine_batch("within_distance", [])
+
+    def test_refine_batch_per_pixel_counters_match_serial(self):
+        ds_a, ds_b = _layers()
+        items = [
+            ((i, j), a, b)
+            for i, a in enumerate(ds_a.polygons)
+            for j, b in enumerate(ds_b.polygons)
+            if a.mbr.intersects(b.mbr)
+        ]
+        serial_engine = HardwareEngine()
+        batch_engine = HardwareEngine()
+        serial_keys(serial_engine, "intersect", items, None)
+        batch_engine.refine_batch("intersect", items)
+        s, b = serial_engine.gpu_counters, batch_engine.gpu_counters
+        # Per-primitive work is identical; only submission counts shrink.
+        assert b.edges_rendered == s.edges_rendered
+        assert b.edges_clipped_away == s.edges_clipped_away
+        assert b.pixels_written == s.pixels_written
+        assert b.draw_calls < s.draw_calls
+        assert b.tile_batches > 0
+        assert s.tile_batches == 0
+
+
+def _layers(count_a=40, count_b=50):
+    world = Rect(0.0, 0.0, 60.0, 60.0)
+    shared = dict(
+        world=world,
+        vertex_model=VertexCountModel(vmin=4, vmax=40, mean=12.0),
+        coverage=1.3,
+        cluster_count=4,
+        cluster_spread=0.2,
+        roughness=0.3,
+    )
+    layer_a = generate_layer(GeneratorConfig(count=count_a, **shared), seed=101)
+    layer_b = generate_layer(GeneratorConfig(count=count_b, **shared), seed=202)
+    return (
+        SpatialDataset("A", layer_a, world=world),
+        SpatialDataset("B", layer_b, world=world),
+    )
+
+
+class TestPipelineBatchEquivalence:
+    def test_selection_batched_matches_serial(self):
+        ds, queries_ds = _layers()
+        queries = queries_ds.polygons[:6]
+        serial_engine = HardwareEngine()
+        batch_engine = HardwareEngine()
+        serial = IntersectionSelection(ds, serial_engine, use_batch=False)
+        batched = IntersectionSelection(ds, batch_engine, use_batch=True)
+        for q in queries:
+            res_serial = serial.run(q)
+            res_batched = batched.run(q)
+            assert res_batched.ids == res_serial.ids
+            assert res_batched.cost.pairs_compared == res_serial.cost.pairs_compared
+        assert batch_engine.stats == serial_engine.stats
+        assert batch_engine.sweep_stats == serial_engine.sweep_stats
+
+    def test_software_engine_ignores_use_batch(self):
+        ds, queries_ds = _layers(count_a=20, count_b=20)
+        engine = SoftwareEngine()
+        assert not engine.supports_batch
+        sel = IntersectionSelection(ds, engine, use_batch=True)
+        res = sel.run(queries_ds.polygons[0])
+        assert res.cost.pairs_compared == res.cost.candidates_after_mbr
+
+    def test_refine_pairs_batched_is_stats_optional(self):
+        ds_a, ds_b = _layers(count_a=10, count_b=10)
+        hw = HardwareSegmentTest(HardwareConfig())
+        items = [
+            ((i, j), a, b)
+            for i, a in enumerate(ds_a.polygons)
+            for j, b in enumerate(ds_b.polygons)
+        ]
+        keys = refine_pairs_batched(hw, "intersect", items)
+        engine = HardwareEngine()
+        expected = serial_keys(engine, "intersect", items, None)
+        assert keys == expected
+
+
+class TestStatsComparability:
+    def test_stats_are_dataclasses_with_eq(self):
+        # The equivalence assertions above rely on field-wise equality.
+        engine = HardwareEngine()
+        assert dataclasses.is_dataclass(engine.stats)

@@ -31,12 +31,32 @@ def make_executor() -> ParallelExecutor:
     return ParallelExecutor(workers=2, min_inline_items=1)
 
 
+#: GPU counters that count *per-primitive* work: invariant under both
+#: sharding and tile batching.  The submission-side counters (draw calls,
+#: clears, accum/minmax ops, tile batches) count fixed per-submission
+#: overhead, which legitimately depends on how pairs fall into atlas
+#: sub-batches - and sharding moves those boundaries.
+PER_PRIMITIVE_COUNTERS = (
+    "edges_rendered",
+    "edges_clipped_away",
+    "points_rendered",
+    "pixels_written",
+    "tiles_packed",
+    "distance_field_pixels",
+    "readback_ops",
+    "pixels_transferred",
+)
+
+
 def assert_engines_identical(serial, parallel):
     assert serial.stats == parallel.stats
     assert serial.sweep_stats == parallel.sweep_stats
     assert serial.mindist_stats == parallel.mindist_stats
     if isinstance(serial, HardwareEngine):
-        assert serial.gpu_counters == parallel.gpu_counters
+        for field in PER_PRIMITIVE_COUNTERS:
+            assert getattr(serial.gpu_counters, field) == getattr(
+                parallel.gpu_counters, field
+            ), field
 
 
 class TestGeometryPickling:
@@ -202,3 +222,55 @@ class TestPoolReuse:
                 dataset_a, dataset_b, HardwareEngine(), executor=ex
             ).run()
             assert ex._pool is not first_pool  # spec changed: rebuilt
+
+
+class TestBatchedShards:
+    """Hardware shards run the tiled batched path inside each worker."""
+
+    def test_workers_batch_and_match_per_pair_loop(self, dataset_a, dataset_b):
+        # Reference: the true per-pair predicate loop (batching disabled).
+        e_loop = HardwareEngine()
+        loop = IntersectionJoin(
+            dataset_a, dataset_b, e_loop, use_batch=False
+        ).run()
+        e_parallel = HardwareEngine()
+        with make_executor() as ex:
+            parallel = IntersectionJoin(
+                dataset_a, dataset_b, e_parallel, executor=ex
+            ).run()
+        assert parallel.pairs == loop.pairs
+        assert e_parallel.stats == e_loop.stats
+        assert e_parallel.sweep_stats == e_loop.sweep_stats
+        # The merged counters prove every shard used the atlas path while
+        # per-primitive totals stayed identical to the per-pair loop.
+        assert e_parallel.gpu_counters.tile_batches > 0
+        assert e_loop.gpu_counters.tile_batches == 0
+        assert (
+            e_parallel.gpu_counters.edges_rendered
+            == e_loop.gpu_counters.edges_rendered
+        )
+        assert (
+            e_parallel.gpu_counters.pixels_written
+            == e_loop.gpu_counters.pixels_written
+        )
+        assert (
+            e_parallel.gpu_counters.draw_calls
+            < e_loop.gpu_counters.draw_calls
+        )
+
+    def test_inline_executor_batches_too(self, dataset_a, dataset_b):
+        engine = HardwareEngine()
+        with ParallelExecutor(workers=1) as ex:
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+        assert engine.gpu_counters.tile_batches > 0
+
+    def test_hw_batch_spans_recorded(self, dataset_a, dataset_b):
+        tracer = Tracer()
+        engine = HardwareEngine()
+        with ParallelExecutor(workers=1) as ex, use_tracer(tracer):
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+        batch_spans = tracer.find("geometry.hw_batch")
+        tile_spans = tracer.find("gpu.tile_batch")
+        assert batch_spans and tile_spans
+        assert all(s.attributes["pairs"] > 0 for s in batch_spans)
+        assert all(s.attributes["tiles"] > 0 for s in tile_spans)

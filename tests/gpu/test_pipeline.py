@@ -7,6 +7,7 @@ import pytest
 
 from repro.geometry import Rect
 from repro.gpu import DeviceLimits, GraphicsPipeline
+from repro.gpu.pipeline import uniform_window_scale
 
 
 class TestConstruction:
@@ -174,3 +175,89 @@ class TestDeviceLimits:
         x, y = pl.data_to_window(6.0, 5.0)
         assert math.isclose(x, (6.0 - 2.0) * pl.scale)
         assert math.isclose(y, (5.0 - 3.0) * pl.scale)
+
+
+class TestNonSquareProjection:
+    """Regression: the uniform scale must fit the window in BOTH axes.
+
+    The historical formula ``max(width, height) / max-span`` ignored which
+    viewport axis was binding, so on non-square viewports part of the data
+    window could project outside the pixel grid.  Geometry lost there is
+    lost for *both* rendered boundaries, so the overlap search could miss a
+    real crossing and report a false DISJOINT.
+    """
+
+    def test_short_axis_binds_scale(self):
+        pl = GraphicsPipeline(8, 4)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        # The old formula gave max(8, 4) / 8 = 1.0, pushing y in [4, 8)
+        # above the 4-pixel-high viewport.
+        assert pl.scale == 0.5
+        assert pl.data_to_window(8.0, 8.0) == (4.0, 4.0)
+
+    def test_window_corners_stay_inside_viewport(self):
+        for w, h in [(16, 4), (4, 16), (8, 3), (3, 8)]:
+            pl = GraphicsPipeline(w, h)
+            window = Rect(-3.0, -2.0, 13.0, 5.0)
+            pl.set_data_window(window)
+            for x, y in [
+                (window.xmin, window.ymin),
+                (window.xmax, window.ymax),
+                (window.xmin, window.ymax),
+                (window.xmax, window.ymin),
+            ]:
+                wx, wy = pl.data_to_window(x, y)
+                assert 0.0 <= wx <= pl.width
+                assert 0.0 <= wy <= pl.height
+
+    def test_degenerate_axis_imposes_no_constraint(self):
+        pl = GraphicsPipeline(8, 4)
+        pl.set_data_window(Rect(0, 0, 4, 0))  # zero-height window
+        assert pl.scale == 2.0  # bound by x only
+        pl.set_data_window(Rect(0, 0, 0, 0))
+        assert pl.scale == 1.0
+
+    def test_square_viewport_matches_historical_formula(self):
+        # min(n/a, n/b) == n/max(a, b) for positive spans, so the fix is
+        # bit-identical on the square viewports every existing result used.
+        for res in (1, 4, 8, 32):
+            for window in [Rect(0, 0, 10, 5), Rect(-2, 1, 3, 9), Rect(0, 0, 7, 7)]:
+                got = uniform_window_scale(res, res, window)
+                historical = res / max(window.width, window.height)
+                assert got == historical
+
+    def test_no_false_disjoint_on_non_square_viewport(self):
+        # Two boundaries crossing in the upper half of a square data window
+        # rendered on a wide, short viewport.  Under the old scale (1.0)
+        # the crossing at y~6 projected to row ~6 of a 4-row viewport:
+        # clipped for both boundaries, overlap never seen -> false DISJOINT.
+        pl = GraphicsPipeline(8, 4)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        edges_a = np.array([[1.0, 6.0, 7.0, 6.0]])  # horizontal at y=6
+        edges_b = np.array([[4.0, 5.0, 4.0, 7.0]])  # vertical at x=4
+        mask_a = pl.render_coverage_mask(edges_a)
+        mask_b = pl.render_coverage_mask(edges_b)
+        assert (mask_a & mask_b).any()
+        assert pl.counters.edges_clipped_away == 0
+
+
+class TestDrawFilledPolygonValidation:
+    """Regression: draw_filled_polygon must honor the device limits."""
+
+    def test_rejects_state_over_limits(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.state.point_size = 20.0  # over DeviceLimits.max_point_size
+        with pytest.raises(ValueError):
+            pl.draw_filled_polygon([(1, 1), (6, 1), (6, 6)])
+        # Rejected up front: no draw call was counted, nothing rendered.
+        assert pl.counters.draw_calls == 0
+        assert pl.fb.color.sum() == 0.0
+
+    def test_valid_state_still_draws(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0, 0, 8, 8))
+        pl.state.color = 1.0
+        pl.draw_filled_polygon([(1, 1), (6, 1), (6, 6), (1, 6)])
+        assert pl.counters.draw_calls == 1
+        assert pl.fb.color.sum() > 0.0

@@ -1,0 +1,218 @@
+"""Tests for the tiled batch-rendering layer (atlas packing, verdicts)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OVERLAP_THRESHOLD
+from repro.geometry import Rect
+from repro.gpu import (
+    DeviceLimits,
+    GraphicsPipeline,
+    TiledPipeline,
+    atlas_layout,
+)
+from repro.gpu.state import DEFAULT_AA_LINE_WIDTH
+
+SQUARE_EDGES = np.array(
+    [
+        [1.0, 1.0, 6.0, 1.0],
+        [6.0, 1.0, 6.0, 6.0],
+        [6.0, 6.0, 1.0, 6.0],
+        [1.0, 6.0, 1.0, 1.0],
+    ]
+)
+# A bar crossing the square's interior.
+BAR_EDGES = np.array(
+    [
+        [0.0, 3.0, 7.0, 3.0],
+        [7.0, 3.0, 7.0, 4.0],
+        [7.0, 4.0, 0.0, 4.0],
+        [0.0, 4.0, 0.0, 3.0],
+    ]
+)
+# A bar far away from the square.
+FAR_EDGES = BAR_EDGES + np.array([100.0, 100.0, 100.0, 100.0])
+
+WINDOW = Rect(0.0, 0.0, 8.0, 8.0)
+WIDE_WINDOW = Rect(0.0, 0.0, 120.0, 120.0)
+
+
+def make_tiled(resolution=8, max_tiles=256, limits=None):
+    base = GraphicsPipeline(resolution, limits=limits)
+    return TiledPipeline(base, max_tiles=max_tiles)
+
+
+def overlap(tiled, edges_a, edges_b, windows):
+    return tiled.overlap_flags(
+        edges_a,
+        edges_b,
+        windows,
+        widths_px=DEFAULT_AA_LINE_WIDTH,
+        cap_points=False,
+        threshold=OVERLAP_THRESHOLD,
+    )
+
+
+class TestConstruction:
+    def test_grid_and_capacity(self):
+        tiled = make_tiled(resolution=8, max_tiles=256)
+        assert (tiled.grid_cols, tiled.grid_rows) == (16, 16)
+        assert tiled.capacity == 256
+        assert tiled.fb.width == 128 and tiled.fb.height == 128
+
+    def test_single_tile(self):
+        tiled = make_tiled(resolution=8, max_tiles=1)
+        assert tiled.capacity == 1
+        assert tiled.fb.width == 8 and tiled.fb.height == 8
+
+    def test_viewport_limit_bounds_atlas(self):
+        limits = DeviceLimits(max_viewport=32)
+        tiled = make_tiled(resolution=8, max_tiles=256, limits=limits)
+        assert tiled.grid_cols <= 4 and tiled.grid_rows <= 4
+        assert tiled.fb.width <= 32 and tiled.fb.height <= 32
+
+    def test_bad_max_tiles(self):
+        with pytest.raises(ValueError):
+            make_tiled(max_tiles=0)
+
+    def test_counters_are_shared_with_base(self):
+        base = GraphicsPipeline(8)
+        tiled = TiledPipeline(base)
+        assert tiled.counters is base.counters
+
+
+class TestAtlasLayout:
+    def test_layout_matches_pipeline(self):
+        cols, rows = atlas_layout(8, 256, 2048)
+        tiled = make_tiled(resolution=8, max_tiles=256)
+        assert (cols, rows) == (tiled.grid_cols, tiled.grid_rows)
+        assert cols * rows == tiled.capacity
+
+    def test_layout_respects_viewport(self):
+        cols, rows = atlas_layout(8, 256, 32)
+        assert cols * 8 <= 32 and rows * 8 <= 32
+
+
+class TestOverlapFlags:
+    def test_basic_verdicts(self):
+        tiled = make_tiled()
+        flags = overlap(
+            tiled,
+            [SQUARE_EDGES, SQUARE_EDGES],
+            [BAR_EDGES, FAR_EDGES],
+            [WINDOW, WIDE_WINDOW],
+        )
+        assert flags.tolist() == [True, False]
+
+    def test_empty_batch(self):
+        tiled = make_tiled()
+        assert overlap(tiled, [], [], []).shape == (0,)
+
+    def test_multiple_sub_batches(self):
+        # Capacity 4 with 10 pairs forces three atlas submissions; the
+        # flags must still come back in order.
+        tiled = make_tiled(resolution=8, max_tiles=4)
+        assert tiled.capacity == 4
+        n = 10
+        edges_b = [BAR_EDGES if k % 3 else FAR_EDGES for k in range(n)]
+        windows = [WIDE_WINDOW if k % 3 == 0 else WINDOW for k in range(n)]
+        flags = overlap(tiled, [SQUARE_EDGES] * n, edges_b, windows)
+        assert flags.tolist() == [bool(k % 3) for k in range(n)]
+        assert tiled.counters.tile_batches == 3
+        assert tiled.counters.tiles_packed == n
+
+    def test_matches_serial_pipeline_masks(self):
+        # The batched verdict must equal "the two serial coverage masks
+        # share a pixel" for each pair independently.
+        cases = [
+            (SQUARE_EDGES, BAR_EDGES, WINDOW),
+            (SQUARE_EDGES, FAR_EDGES, WIDE_WINDOW),
+            (SQUARE_EDGES, BAR_EDGES + 2.5, WINDOW),
+            (BAR_EDGES, BAR_EDGES + np.array([0.0, 50.0, 0.0, 50.0]),
+             Rect(0.0, 0.0, 60.0, 60.0)),
+        ]
+        expected = []
+        for ea, eb, w in cases:
+            pl = GraphicsPipeline(8)
+            pl.set_data_window(w)
+            expected.append(
+                bool((pl.render_coverage_mask(ea) & pl.render_coverage_mask(eb)).any())
+            )
+        tiled = make_tiled()
+        flags = overlap(
+            tiled,
+            [c[0] for c in cases],
+            [c[1] for c in cases],
+            [c[2] for c in cases],
+        )
+        assert flags.tolist() == expected
+
+    def test_batch_counters(self):
+        tiled = make_tiled()
+        counters = tiled.counters
+        overlap(tiled, [SQUARE_EDGES], [BAR_EDGES], [WINDOW])
+        # One atlas submission: two bulk draws, one clear, the
+        # accumulate/return transfers, and one (per-tile) Minmax.
+        assert counters.tile_batches == 1
+        assert counters.tiles_packed == 1
+        assert counters.draw_calls == 2
+        assert counters.buffer_clears == 1
+        assert counters.minmax_ops == 1
+        assert counters.edges_rendered == 8
+
+    def test_per_pair_widths(self):
+        tiled = make_tiled()
+        # Wide lines can bridge the gap a thin line leaves open.
+        gap_a = np.array([[1.0, 1.0, 1.0, 7.0]])
+        gap_b = np.array([[5.0, 1.0, 5.0, 7.0]])
+        thin_then_wide = np.array([1.5, 8.0])
+        flags = tiled.overlap_flags(
+            [gap_a, gap_a],
+            [gap_b, gap_b],
+            [WINDOW, WINDOW],
+            widths_px=thin_then_wide,
+            cap_points=True,
+            threshold=OVERLAP_THRESHOLD,
+        )
+        assert flags.tolist() == [False, True]
+
+    def test_misaligned_inputs_rejected(self):
+        tiled = make_tiled()
+        with pytest.raises(ValueError):
+            overlap(tiled, [SQUARE_EDGES], [BAR_EDGES, BAR_EDGES], [WINDOW])
+        with pytest.raises(ValueError):
+            tiled.overlap_flags(
+                [SQUARE_EDGES],
+                [BAR_EDGES],
+                [WINDOW],
+                widths_px=np.array([1.0, 2.0]),
+                cap_points=False,
+                threshold=OVERLAP_THRESHOLD,
+            )
+
+
+class TestAtlasInspection:
+    def test_read_atlas_shape(self):
+        tiled = make_tiled(resolution=8, max_tiles=4)
+        overlap(tiled, [SQUARE_EDGES], [BAR_EDGES], [WINDOW])
+        atlas = tiled.read_atlas()
+        assert atlas.shape == (tiled.fb.height, tiled.fb.width)
+
+    def test_tile_image_isolates_one_pair(self):
+        tiled = make_tiled(resolution=8, max_tiles=4)
+        overlap(
+            tiled,
+            [SQUARE_EDGES, SQUARE_EDGES],
+            [BAR_EDGES, FAR_EDGES],
+            [WINDOW, WIDE_WINDOW],
+        )
+        crossing = tiled.tile_image(0)
+        disjoint = tiled.tile_image(1)
+        assert crossing.shape == (8, 8)
+        assert crossing.max() >= 1.0  # both boundaries hit a pixel
+        assert disjoint.max() < 1.0
+
+    def test_tile_image_bounds(self):
+        tiled = make_tiled(resolution=8, max_tiles=4)
+        with pytest.raises(IndexError):
+            tiled.tile_image(tiled.capacity)

@@ -28,8 +28,45 @@ class TestCostBreakdown:
         half = c.scaled(0.5)
         assert half.mbr_filter_s == 1.0
         assert half.geometry_s == 2.0
-        assert half.results == 7  # counts are not scaled
+        assert half.results == 3.5  # counts scale too (float means)
         assert c.mbr_filter_s == 2.0  # original untouched
+        assert c.results == 7
+
+    def test_scaled_two_query_average(self):
+        # Regression: scaled() used to average only the timings while
+        # passing the *summed* counts through, so a query-set "mean" paired
+        # per-query milliseconds with N-query candidate totals.  Average
+        # two hand-built query costs and check every field halves.
+        q1 = CostBreakdown(
+            mbr_filter_s=0.010,
+            intermediate_filter_s=0.002,
+            geometry_s=0.100,
+            candidates_after_mbr=40,
+            filter_positives=6,
+            pairs_compared=34,
+            results=10,
+        )
+        q2 = CostBreakdown(
+            mbr_filter_s=0.030,
+            intermediate_filter_s=0.004,
+            geometry_s=0.300,
+            candidates_after_mbr=80,
+            filter_positives=10,
+            pairs_compared=70,
+            results=30,
+        )
+        total = CostBreakdown()
+        total.merge(q1)
+        total.merge(q2)
+        mean = total.scaled(1.0 / 2.0)
+        assert mean.mbr_filter_s == pytest.approx(0.020)
+        assert mean.intermediate_filter_s == pytest.approx(0.003)
+        assert mean.geometry_s == pytest.approx(0.200)
+        assert mean.candidates_after_mbr == pytest.approx(60.0)
+        assert mean.filter_positives == pytest.approx(8.0)
+        assert mean.pairs_compared == pytest.approx(52.0)
+        assert mean.results == pytest.approx(20.0)
+        assert mean.total_s == pytest.approx(0.223)
 
     def test_time_stage_accumulates(self):
         c = CostBreakdown()
