@@ -6,6 +6,7 @@ Examples::
     python -m repro.bench table2
     python -m repro.bench fig12 --scale tiny
     python -m repro.bench all --scale small --out results.txt
+    python -m repro.bench table2 --scale tiny --report-out run.json
 """
 
 from __future__ import annotations
@@ -14,6 +15,13 @@ import argparse
 import sys
 import time
 
+from ..obs.metrics import MetricsRegistry, use_registry
+from ..obs.runreport import (
+    build_run_report,
+    environment_fingerprint,
+    experiment_entry,
+    write_run_report,
+)
 from .experiments import ALL_EXPERIMENTS
 from .scales import DEFAULT_SCALE, SCALES
 
@@ -38,6 +46,17 @@ def main(argv=None) -> int:
         default=None,
         help="also append formatted results to this file",
     )
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        help="write a versioned RunReport JSON (rows + merged metrics + "
+        "environment fingerprint; see repro.obs)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the run's merged metrics snapshot as JSON",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -57,11 +76,29 @@ def main(argv=None) -> int:
         )
         return 2
 
+    # Metric collection is opt-in: with neither artifact requested, no
+    # registry is installed and the instrumented layers stay on their
+    # zero-overhead path.
+    collect = args.report_out is not None or args.metrics_out is not None
+    run_registry = MetricsRegistry() if collect else None
+    entries = []
+
     outputs = []
     for name in names:
+        # One fresh registry per experiment so each report entry carries
+        # only its own distributions; the run-level registry merges them.
+        exp_registry = MetricsRegistry() if collect else None
         start = time.perf_counter()
-        result = ALL_EXPERIMENTS[name](scale=args.scale)
+        if exp_registry is not None:
+            with use_registry(exp_registry):
+                result = ALL_EXPERIMENTS[name](scale=args.scale)
+        else:
+            result = ALL_EXPERIMENTS[name](scale=args.scale)
         elapsed = time.perf_counter() - start
+        if exp_registry is not None and run_registry is not None:
+            snapshot = exp_registry.snapshot()
+            run_registry.merge(snapshot)
+            entries.append(experiment_entry(result, snapshot, elapsed))
         text = result.format() + f"\n(driver wall time: {elapsed:.1f} s)\n"
         print(text)
         outputs.append(text)
@@ -69,6 +106,22 @@ def main(argv=None) -> int:
     if args.out:
         with open(args.out, "a", encoding="utf-8") as f:
             f.write("\n".join(outputs) + "\n")
+    if run_registry is not None:
+        merged = run_registry.snapshot()
+        if args.report_out:
+            report = build_run_report(
+                entries,
+                merged,
+                scale=args.scale,
+                environment=environment_fingerprint(scale=args.scale),
+            )
+            write_run_report(args.report_out, report)
+            print(f"run report written to {args.report_out}")
+        if args.metrics_out:
+            with open(args.metrics_out, "w", encoding="utf-8") as f:
+                f.write(run_registry.to_json(indent=2))
+                f.write("\n")
+            print(f"metrics snapshot written to {args.metrics_out}")
     return 0
 
 

@@ -29,6 +29,7 @@ to software (section 4.4).
 from __future__ import annotations
 
 import math
+import time
 from enum import Enum
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -39,6 +40,7 @@ from ..geometry.rect import Rect
 from ..gpu.pipeline import GraphicsPipeline, uniform_window_scale
 from ..gpu.state import DEFAULT_AA_LINE_WIDTH, EDGE_COLOR
 from ..gpu.tiled import TiledPipeline
+from ..obs.metrics import MetricsRegistry, current_registry
 from .config import OVERLAP_THRESHOLD, HardwareConfig
 
 #: One batched test: the two polygons and the projection window to render.
@@ -91,6 +93,38 @@ class HardwareSegmentTest:
             )
         return self._tiled
 
+    # -- metrics ----------------------------------------------------------
+
+    def _observe_test(
+        self,
+        registry: MetricsRegistry,
+        op: str,
+        method: str,
+        verdict: HardwareVerdict,
+        a: Polygon,
+        b: Polygon,
+        elapsed_s: Optional[float] = None,
+    ) -> None:
+        """Record one per-pair test into the installed registry.
+
+        Per-pair families (``hw_verdicts``, ``hw_test_edges``) are additive
+        over pairs, so serial, batched, and shard-merged runs of the same
+        workload report identical totals.  The duration histogram is the
+        per-test cost distribution Figure 13's threshold argument is about;
+        it is only fed when a render actually ran for this single pair
+        (``elapsed_s`` is None for UNSUPPORTED short-circuits and for pairs
+        inside an atlas batch, whose cost is shared and lands in
+        ``hw_batch_duration_s`` instead).
+        """
+        if elapsed_s is not None:
+            registry.histogram(
+                "hw_test_duration_s", op=op, method=method
+            ).observe(elapsed_s)
+        registry.counter("hw_verdicts", op=op, verdict=verdict.value).inc()
+        registry.histogram("hw_test_edges", op=op).observe(
+            a.num_vertices + b.num_vertices
+        )
+
     # -- public API -------------------------------------------------------
 
     def intersection_verdict(
@@ -101,9 +135,25 @@ class HardwareSegmentTest:
         Never returns UNSUPPORTED: the default sqrt(2) line width is always
         within device limits.
         """
-        return self._render_and_search(
+        registry = current_registry()
+        if registry is None:
+            return self._render_and_search(
+                a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
+            )
+        start = time.perf_counter()
+        verdict = self._render_and_search(
             a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
         )
+        self._observe_test(
+            registry,
+            "intersect",
+            self.config.method,
+            verdict,
+            a,
+            b,
+            time.perf_counter() - start,
+        )
+        return verdict
 
     def distance_verdict(
         self, a: Polygon, b: Polygon, window: Rect, d: float
@@ -120,10 +170,13 @@ class HardwareSegmentTest:
         """
         if d < 0.0:
             raise ValueError("distance must be non-negative")
+        # Delegating paths record in the delegate, never here: one test,
+        # one ``hw_verdicts`` increment, whichever entry point ran it.
         if self.config.distance_mode == "field" and d > 0.0:
             return self.distance_field_verdict(a, b, window, d)
         if d == 0.0:
             return self.intersection_verdict(a, b, window)
+        registry = current_registry()
         self.pipeline.set_data_window(window)
         width_px = float(self.pipeline.line_width_for_distance(d))
         limits = self.config.limits
@@ -131,10 +184,34 @@ class HardwareSegmentTest:
             limits.supports_line_width(width_px)
             and limits.supports_point_size(width_px)
         ):
+            if registry is not None:
+                self._observe_test(
+                    registry,
+                    "within_distance",
+                    self.config.method,
+                    HardwareVerdict.UNSUPPORTED,
+                    a,
+                    b,
+                )
             return HardwareVerdict.UNSUPPORTED
-        return self._render_and_search(
+        if registry is None:
+            return self._render_and_search(
+                a, b, window, line_width_px=width_px, cap_points=True
+            )
+        start = time.perf_counter()
+        verdict = self._render_and_search(
             a, b, window, line_width_px=width_px, cap_points=True
         )
+        self._observe_test(
+            registry,
+            "within_distance",
+            self.config.method,
+            verdict,
+            a,
+            b,
+            time.perf_counter() - start,
+        )
+        return verdict
 
     def intersection_verdicts_batch(
         self, pairs: Sequence[PairWindow]
@@ -153,6 +230,8 @@ class HardwareSegmentTest:
         pairs = list(pairs)
         if not pairs:
             return []
+        registry = current_registry()
+        start = time.perf_counter() if registry is not None else 0.0
         flags = self.tiled.overlap_flags(
             [a.edges_array for a, _, _ in pairs],
             [b.edges_array for _, b, _ in pairs],
@@ -161,10 +240,19 @@ class HardwareSegmentTest:
             cap_points=False,
             threshold=OVERLAP_THRESHOLD,
         )
-        return [
+        verdicts = [
             HardwareVerdict.MAYBE if f else HardwareVerdict.DISJOINT
             for f in flags
         ]
+        if registry is not None:
+            registry.histogram("hw_batch_duration_s", op="intersect").observe(
+                time.perf_counter() - start
+            )
+            for (a, b, _), verdict in zip(pairs, verdicts):
+                self._observe_test(
+                    registry, "intersect", self.config.method, verdict, a, b
+                )
+        return verdicts
 
     def distance_verdicts_batch(
         self, pairs: Sequence[PairWindow], d: float
@@ -184,12 +272,15 @@ class HardwareSegmentTest:
         pairs = list(pairs)
         if not pairs:
             return []
+        # As in distance_verdict, delegating paths record in the delegate.
         if d == 0.0:
             return self.intersection_verdicts_batch(pairs)
         if self.config.distance_mode == "field":
             return [
                 self.distance_field_verdict(a, b, w, d) for a, b, w in pairs
             ]
+        registry = current_registry()
+        start = time.perf_counter() if registry is not None else 0.0
         verdicts: List[Optional[HardwareVerdict]] = [None] * len(pairs)
         eligible: List[int] = []
         widths: List[float] = []
@@ -220,6 +311,14 @@ class HardwareSegmentTest:
                     HardwareVerdict.MAYBE if f else HardwareVerdict.DISJOINT
                 )
         assert all(v is not None for v in verdicts)
+        if registry is not None:
+            registry.histogram(
+                "hw_batch_duration_s", op="within_distance"
+            ).observe(time.perf_counter() - start)
+            for (a, b, _), verdict in zip(pairs, verdicts):
+                self._observe_test(
+                    registry, "within_distance", self.config.method, verdict, a, b
+                )
         return verdicts  # type: ignore[return-value]
 
     def distance_field_verdict(
@@ -236,6 +335,25 @@ class HardwareSegmentTest:
         """
         if d < 0.0:
             raise ValueError("distance must be non-negative")
+        registry = current_registry()
+        if registry is None:
+            return self._distance_field_impl(a, b, window, d)
+        start = time.perf_counter()
+        verdict = self._distance_field_impl(a, b, window, d)
+        self._observe_test(
+            registry,
+            "within_distance",
+            "field",
+            verdict,
+            a,
+            b,
+            time.perf_counter() - start,
+        )
+        return verdict
+
+    def _distance_field_impl(
+        self, a: Polygon, b: Polygon, window: Rect, d: float
+    ) -> HardwareVerdict:
         from ..gpu.distance_field import CENTER_DISTANCE_SLACK
 
         pl = self.pipeline

@@ -24,7 +24,16 @@ serial one -
   batched hardware path their totals depend on where shard boundaries cut
   the candidate list, exactly as they would across multiple real GPUs.);
 * per-shard wall-clock timings surface as child trace spans
-  (:mod:`repro.exec.trace`) under the enclosing pipeline stage.
+  (:mod:`repro.exec.trace`) under the enclosing pipeline stage;
+* when the coordinator has a :mod:`repro.obs.metrics` registry installed,
+  each worker runs its shard under a fresh shard-local registry and ships
+  the snapshot back in :attr:`ShardResult.metrics`; the coordinator merges
+  the snapshots in.  Histogram merging is exact (Shewchuk partial sums),
+  so per-pair metric families (``hw_verdicts``, ``hw_test_edges``,
+  ``refinement``, ...) come out bit-identical to a serial run, in any
+  merge order.  Batch-shape families (``tiles_per_batch``,
+  ``atlas_occupancy``) depend on where shard boundaries cut the candidate
+  list, exactly like the submission-side cost counters above.
 """
 
 from __future__ import annotations
@@ -42,6 +51,7 @@ from ..geometry.min_dist import MinDistStats
 from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats
 from ..gpu.costmodel import CostCounters
+from ..obs.metrics import MetricsRegistry, current_registry, use_registry
 from .partition import partition_items, shard_count_for
 from .trace import current_tracer
 
@@ -97,6 +107,8 @@ class ShardResult:
     sweep_stats: SweepStats
     mindist_stats: MinDistStats
     gpu_counters: Optional[CostCounters] = None
+    #: Shard-local metrics snapshot (when the coordinator collects metrics).
+    metrics: Optional[Dict[str, Any]] = None
 
 
 @dataclass
@@ -152,14 +164,22 @@ def _init_worker(spec: EngineSpec) -> None:
 
 
 def _refine_shard(
-    task: Tuple[str, Optional[float], Sequence[WorkItem]],
+    task: Tuple[str, Optional[float], Sequence[WorkItem], bool],
 ) -> ShardResult:
-    op, distance, items = task
+    op, distance, items, collect_metrics = task
     engine = _WORKER_ENGINE
     assert engine is not None, "worker engine missing (pool not initialized)"
     engine.reset_stats()
+    # A fresh shard-local registry per task (not per worker) so every
+    # snapshot contains exactly one shard's observations - the coordinator
+    # merges them and the totals cannot depend on task->worker assignment.
+    shard_registry = MetricsRegistry() if collect_metrics else None
     start = time.perf_counter()
-    matches = _refine_with(engine, op, distance, items)
+    if shard_registry is not None:
+        with use_registry(shard_registry):
+            matches = _refine_with(engine, op, distance, items)
+    else:
+        matches = _refine_with(engine, op, distance, items)
     elapsed = time.perf_counter() - start
     counters = (
         engine.gpu_counters.snapshot()
@@ -174,6 +194,7 @@ def _refine_shard(
         sweep_stats=engine.sweep_stats,
         mindist_stats=engine.mindist_stats,
         gpu_counters=counters,
+        metrics=shard_registry.snapshot() if shard_registry is not None else None,
     )
 
 
@@ -272,6 +293,7 @@ class ParallelExecutor:
             return report.matches
 
         tracer = current_tracer()
+        registry = current_registry()
         shards = shard_count_for(
             len(items), self.workers, self.shards_per_worker
         )
@@ -281,6 +303,9 @@ class ParallelExecutor:
             or len(items) < self.min_inline_items
         )
         if run_inline:
+            # Inline work reports straight into the caller's registry via
+            # the instrumented layers; only the shard-shape histograms need
+            # recording here.
             start = time.perf_counter()
             matches = _refine_with(engine, op, distance, items)
             elapsed = time.perf_counter() - start
@@ -295,12 +320,16 @@ class ParallelExecutor:
                     pairs=len(items),
                     inline=True,
                 )
+            if registry is not None:
+                self._observe_shard(registry, stage, elapsed, len(items))
             return report.matches
 
         spec = EngineSpec.for_engine(engine)
         pool = self._pool_for(spec)
+        collect_metrics = registry is not None
         tasks = [
-            (op, distance, shard) for shard in partition_items(items, shards)
+            (op, distance, shard, collect_metrics)
+            for shard in partition_items(items, shards)
         ]
         results: List[ShardResult] = pool.map(_refine_shard, tasks)
         for k, res in enumerate(results):
@@ -315,8 +344,19 @@ class ParallelExecutor:
                     pairs=res.pairs,
                     matches=len(res.matches),
                 )
+            if registry is not None:
+                if res.metrics is not None:
+                    registry.merge(res.metrics)
+                self._observe_shard(registry, stage, res.elapsed_s, res.pairs)
         report.shards = len(results)
         return report.matches
+
+    @staticmethod
+    def _observe_shard(
+        registry: MetricsRegistry, stage: str, elapsed_s: float, pairs: int
+    ) -> None:
+        registry.histogram("shard_duration_s", stage=stage).observe(elapsed_s)
+        registry.histogram("shard_pairs", stage=stage).observe(pairs)
 
     @staticmethod
     def _merge_shard(engine: RefinementEngine, res: ShardResult) -> None:

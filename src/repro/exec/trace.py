@@ -64,7 +64,9 @@ class Span:
 class JsonLinesExporter:
     """Writes each finished span as one JSON line.
 
-    Accepts an open text file object or a path (opened lazily, truncating).
+    Accepts an open text file object or a path (opened lazily: truncating
+    on first use, appending after a :meth:`close`/reuse cycle - a stray
+    export after close must not silently wipe the spans already written).
     Usable as a context manager; :meth:`close` only closes files this
     exporter itself opened.
     """
@@ -73,11 +75,14 @@ class JsonLinesExporter:
         self._path: Optional[str] = target if isinstance(target, str) else None
         self._file: Optional[IO[str]] = None if self._path else target  # type: ignore[assignment]
         self._owns_file = self._path is not None
+        self._opened_once = False
 
     def __call__(self, span: Span) -> None:
         if self._file is None:
             assert self._path is not None
-            self._file = open(self._path, "w", encoding="utf-8")
+            mode = "a" if self._opened_once else "w"
+            self._file = open(self._path, mode, encoding="utf-8")
+            self._opened_once = True
         self._file.write(span.to_json() + "\n")
         self._file.flush()
 
@@ -141,12 +146,20 @@ class Tracer:
 
         The span parents to the currently open span of *this* tracer, which
         is how per-shard child spans land under their pipeline stage.
+
+        When no ``start_unix_s`` is given, the span is assumed to have just
+        ended, so its start is *now minus the duration* - recording the end
+        time as the start would shift externally-timed spans forward by
+        their own length and break start+duration interval math against
+        sibling spans.
         """
         span = Span(
             span_id=self._next_id,
             parent_id=self._stack[-1] if self._stack else None,
             name=name,
-            start_unix_s=time.time() if start_unix_s is None else start_unix_s,
+            start_unix_s=(
+                time.time() - duration_s if start_unix_s is None else start_unix_s
+            ),
             duration_s=duration_s,
             attributes=dict(attributes),
         )

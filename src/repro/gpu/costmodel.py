@@ -75,6 +75,10 @@ class GpuCostModel:
     cost_accum_op: float = 5.0
     cost_minmax_pixel: float = 0.5
     cost_readback_pixel: float = 40.0
+    #: Distance-field construction is a multi-pass per-pixel sweep (cone
+    #: rendering on 2003 hardware), dearer than a plain fill but still
+    #: on-card - nowhere near readback territory.
+    cost_distance_field_pixel: float = 2.0
 
     def evaluate(self, counters: CostCounters) -> float:
         """Total abstract cost of the counted operations."""
@@ -86,4 +90,5 @@ class GpuCostModel:
             + counters.accum_ops * self.cost_accum_op
             + counters.pixels_scanned * self.cost_minmax_pixel
             + counters.pixels_transferred * self.cost_readback_pixel
+            + counters.distance_field_pixels * self.cost_distance_field_pixel
         )

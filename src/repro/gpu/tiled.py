@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.rect import Rect
+from ..obs.metrics import current_registry
 from .framebuffer import Framebuffer
 from .pipeline import GraphicsPipeline, uniform_window_scale
 from .raster_bulk import edges_coverage_masks_grouped
@@ -135,6 +136,19 @@ class TiledPipeline:
                     tiles=stop - start,
                     edges=edge_count,
                     atlas=f"{self.fb.width}x{self.fb.height}",
+                )
+            registry = current_registry()
+            if registry is not None:
+                # Batch-shape families: how full each atlas submission ran.
+                # A fleet of mostly-full batches means the fixed per-
+                # submission price (section 4.3) is well amortized; lots of
+                # fractional tail batches means capacity is mis-sized for
+                # the candidate stream.  These depend on how the caller
+                # slices the candidate list, so sharded runs may bucket
+                # them differently than serial ones (see repro.exec.parallel).
+                registry.histogram("tiles_per_batch").observe(stop - start)
+                registry.histogram("atlas_occupancy").observe(
+                    (stop - start) / self.capacity
                 )
         return flags
 

@@ -1,0 +1,63 @@
+"""Observability: unified metrics, trace-tree reports, run artifacts, gating.
+
+The substrate the ROADMAP's "fast as the hardware allows" goal needs - you
+cannot keep a hot path fast without machine-readable evidence of where
+time goes and a gate that fails when it regresses.
+
+* :mod:`repro.obs.metrics` - a :class:`MetricsRegistry` of counters,
+  gauges, and exactly-mergeable log-bucketed histograms, with a
+  process-global install point every instrumented layer reports into
+  (zero overhead when none is installed);
+* :mod:`repro.obs.report` - trace-tree analysis of
+  :mod:`repro.exec.trace` spans: per-stage rollups (self vs child time)
+  and the critical path;
+* :mod:`repro.obs.runreport` - the versioned RunReport JSON artifact one
+  benchmark run emits (``python -m repro.bench <exp> --report-out``);
+* :mod:`repro.obs.compare` - regression gating between two RunReports
+  (``python -m repro.obs compare baseline.json current.json``).
+"""
+
+from .compare import Comparison, Finding, compare_reports
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    install_registry,
+    use_registry,
+)
+from .report import TraceReport, analyze, load_spans, render_report
+from .runreport import (
+    RUN_REPORT_SCHEMA,
+    build_run_report,
+    environment_fingerprint,
+    experiment_entry,
+    load_run_report,
+    sections_from_snapshot,
+    write_run_report,
+)
+
+__all__ = [
+    "Comparison",
+    "Counter",
+    "Finding",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RUN_REPORT_SCHEMA",
+    "TraceReport",
+    "analyze",
+    "build_run_report",
+    "compare_reports",
+    "current_registry",
+    "environment_fingerprint",
+    "experiment_entry",
+    "install_registry",
+    "load_run_report",
+    "load_spans",
+    "render_report",
+    "sections_from_snapshot",
+    "use_registry",
+    "write_run_report",
+]

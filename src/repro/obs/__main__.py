@@ -1,0 +1,98 @@
+"""Command-line entry points for the observability layer.
+
+Examples::
+
+    python -m repro.obs report trace.jsonl
+    python -m repro.obs report trace.jsonl --tree --limit 20
+    python -m repro.obs compare baseline.json current.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .compare import DEFAULT_TIMING_FLOOR_S, compare_reports
+from .report import analyze, render_report
+from .runreport import load_run_report
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        report = analyze(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_report(report, tree=args.tree, limit=args.limit))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    try:
+        baseline = load_run_report(args.baseline)
+        current = load_run_report(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    comparison = compare_reports(
+        baseline,
+        current,
+        tolerance=args.tolerance,
+        counter_tolerance=args.counter_tolerance,
+        timing_floor_s=args.timing_floor,
+    )
+    print(comparison.format())
+    return 0 if comparison.ok else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Trace-tree reports and RunReport regression gating.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser(
+        "report", help="analyze a JSON-lines trace (rollups + critical path)"
+    )
+    report.add_argument("trace", help="span file written by --trace-out (JSONL)")
+    report.add_argument(
+        "--tree", action="store_true", help="also print the span tree"
+    )
+    report.add_argument(
+        "--limit", type=int, default=None, help="rollup rows to show (default all)"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    compare = sub.add_parser(
+        "compare", help="diff two RunReports; exit 1 on regression"
+    )
+    compare.add_argument("baseline", help="baseline RunReport JSON")
+    compare.add_argument("current", help="current RunReport JSON")
+    compare.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative slack for timings (default 0.25 = +25%%)",
+    )
+    compare.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.0,
+        help="relative slack for counters (default 0 = exact)",
+    )
+    compare.add_argument(
+        "--timing-floor",
+        type=float,
+        default=DEFAULT_TIMING_FLOOR_S,
+        help="absolute seconds added to every timing limit "
+        f"(default {DEFAULT_TIMING_FLOOR_S})",
+    )
+    compare.set_defaults(func=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

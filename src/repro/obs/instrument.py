@@ -1,0 +1,98 @@
+"""Pipeline-level publication into the current metrics registry.
+
+The query pipelines each produce a :class:`~repro.query.costs.CostBreakdown`
+and drive a stats-accumulating engine; this module turns one pipeline run
+into metric-family increments:
+
+* ``pipeline_runs{pipeline=...}`` - run counter;
+* ``cost_count{field=...}`` - the breakdown's candidate-count fields,
+  merged across runs (the per-run distributions land in the
+  ``candidates_after_mbr`` / ``pairs_compared`` histograms, per pipeline);
+* ``refinement{field=...}`` - the engine's
+  :class:`~repro.core.stats.RefinementStats` *delta* over the run;
+* ``gpu{counter=...}`` - the hardware engine's
+  :class:`~repro.gpu.costmodel.CostCounters` delta over the run.
+
+Deltas are computed from before/after field snapshots so a long-lived
+engine shared by many runs (``run_query_set``) attributes each run's work
+to that run.  Everything is gated on :func:`~repro.obs.metrics.current_registry`:
+with no registry installed, :func:`observe_pipeline` returns ``None`` and
+the pipelines skip the accounting entirely - the zero-overhead default.
+
+Stat containers are duck-typed through ``__dataclass_fields__`` so this
+module (like the rest of :mod:`repro.obs`) imports nothing from the rest
+of :mod:`repro` and stays cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .metrics import MetricsRegistry, current_registry
+
+#: CostBreakdown fields published as ``cost_count`` counters.
+COST_COUNT_FIELDS = (
+    "candidates_after_mbr",
+    "filter_positives",
+    "pairs_compared",
+    "results",
+)
+
+
+def _fields(container: Any) -> Dict[str, Any]:
+    return {
+        name: getattr(container, name)
+        for name in type(container).__dataclass_fields__
+    }
+
+
+class PipelineObserver:
+    """Captures an engine's stat state at run start; publishes the delta."""
+
+    __slots__ = ("registry", "pipeline", "engine", "_stats_before", "_gpu_before")
+
+    def __init__(
+        self, registry: MetricsRegistry, pipeline: str, engine: Any
+    ) -> None:
+        self.registry = registry
+        self.pipeline = pipeline
+        self.engine = engine
+        self._stats_before = _fields(engine.stats)
+        gpu = getattr(engine, "gpu_counters", None)
+        self._gpu_before = _fields(gpu) if gpu is not None else None
+
+    def finish(self, cost: Any) -> None:
+        """Publish one finished run's cost breakdown and engine deltas."""
+        reg = self.registry
+        reg.counter("pipeline_runs", pipeline=self.pipeline).inc()
+        for field in COST_COUNT_FIELDS:
+            value = getattr(cost, field)
+            if value:
+                reg.counter("cost_count", field=field).inc(value)
+        reg.histogram("candidates_after_mbr", pipeline=self.pipeline).observe(
+            cost.candidates_after_mbr
+        )
+        reg.histogram("pairs_compared", pipeline=self.pipeline).observe(
+            cost.pairs_compared
+        )
+        for name, before in self._stats_before.items():
+            delta = getattr(self.engine.stats, name) - before
+            if delta:
+                reg.counter("refinement", field=name).inc(delta)
+        if self._gpu_before is not None:
+            gpu = self.engine.gpu_counters
+            for name, before in self._gpu_before.items():
+                delta = getattr(gpu, name) - before
+                if delta:
+                    reg.counter("gpu", counter=name).inc(delta)
+
+
+def observe_pipeline(pipeline: str, engine: Any) -> Optional[PipelineObserver]:
+    """An observer for one run, or None when metrics are off (the default)."""
+    registry = current_registry()
+    if registry is None:
+        return None
+    return PipelineObserver(registry, pipeline, engine)
+
+
+__all__ = ["COST_COUNT_FIELDS", "PipelineObserver", "observe_pipeline"]

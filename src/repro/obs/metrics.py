@@ -1,0 +1,431 @@
+"""Unified metrics: counters, gauges, and exactly-mergeable histograms.
+
+The repo's telemetry was previously fragmented across ad-hoc containers
+(:class:`~repro.query.costs.CostBreakdown`,
+:class:`~repro.core.stats.RefinementStats`,
+:class:`~repro.gpu.costmodel.CostCounters`, tracer spans) with no
+distributions and no single mergeable artifact.  This module is the common
+substrate those layers now also report into:
+
+* :class:`Counter` - monotonically accumulating value (int or float);
+* :class:`Gauge` - last-set value (merge takes the maximum, which is
+  order-independent);
+* :class:`Histogram` - **log-bucketed** distribution with *fixed* bucket
+  boundaries (powers of two, derived from the value's binary exponent), so
+  two histograms of the same family always share boundaries and merge
+  *exactly*: merged bucket counts are integer sums, and the running sum is
+  kept as Shewchuk-style exact partials, making ``merge(h1, h2)``
+  indistinguishable from observing the concatenated stream - in any order;
+* :class:`MetricsRegistry` - named instruments with label support
+  (``registry.histogram("hw_test_duration_s", method="accum")``),
+  snapshot / merge / reset, a JSON exporter, and a Prometheus-style text
+  exposition for eyeballing.
+
+Like :mod:`repro.exec.trace`, a process-global *current registry*
+(:func:`current_registry` / :func:`install_registry` / :func:`use_registry`)
+lets instrumentation sites stay zero-overhead by default: when no registry
+is installed, the hot path performs one global read and a ``None`` check -
+no allocations, no dict lookups.
+
+The module deliberately imports nothing from the rest of :mod:`repro`, so
+every layer (gpu, core, exec, query, bench) may depend on it without
+cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+#: Version tag of the snapshot schema (bump on incompatible change).
+SNAPSHOT_SCHEMA = "repro.obs/metrics@1"
+
+LabelItems = Tuple[Tuple[str, str], ...]
+MetricKey = Tuple[str, LabelItems]
+
+
+# -- exact streaming summation ----------------------------------------------
+
+
+def _partials_add(partials: List[float], x: float) -> None:
+    """Add ``x`` into a list of non-overlapping float partials, exactly.
+
+    Shewchuk's algorithm (the one behind :func:`math.fsum`): after the
+    update, ``partials`` represents the *exact* real sum of everything ever
+    added.  Because the represented value is exact, accumulation is
+    associative and commutative - the property the histogram merge
+    guarantees lean on.
+    """
+    if not math.isfinite(x):
+        raise ValueError(f"observations must be finite, got {x!r}")
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    partials[i:] = [x]
+
+
+def _canonical_partials(partials: List[float]) -> List[float]:
+    """Canonical non-overlapping expansion of the exact value of ``partials``.
+
+    Repeatedly extracts the correctly-rounded remainder, so the result
+    depends only on the exact real value - not on the order observations
+    (or merges) arrived in.  This is what makes snapshots of equal
+    histograms bit-identical.
+    """
+    rest = list(partials)
+    out: List[float] = []
+    while True:
+        s = math.fsum(rest)
+        if s == 0.0:
+            return out
+        out.append(s)
+        _partials_add(rest, -s)
+
+
+# -- instruments -------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically accumulating value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def inc(self, amount: Union[int, float] = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up; got {amount!r}")
+        self.value += amount
+
+    def _merge_value(self, value: Union[int, float]) -> None:
+        if value < 0:
+            raise ValueError(f"counters cannot merge negative {value!r}")
+        self.value += value
+
+
+class Gauge:
+    """A last-set value.
+
+    Merge semantics take the **maximum** of the two values (the only
+    order-independent choice without timestamps); the gauges recorded here
+    (atlas capacity, worker counts) are identical across shards anyway.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def _merge_value(self, value: Union[int, float]) -> None:
+        self.value = max(self.value, value)
+
+
+class Histogram:
+    """A log-bucketed distribution with fixed, universal bucket boundaries.
+
+    Bucket ``e`` counts observations in ``[2**(e-1), 2**e)`` - the bucket
+    index is simply the value's binary exponent (``math.frexp``), so every
+    histogram in the process shares the same boundary set by construction
+    and any two histograms merge without rebinning.  Zero observations land
+    in a dedicated zero bucket; negative or non-finite observations raise.
+
+    ``sum`` is accumulated as exact non-overlapping partials, so the
+    reported total is the correctly-rounded exact sum of all observations -
+    identical whether a stream was observed in one process or split across
+    shards and merged, in any merge order.
+    """
+
+    __slots__ = ("count", "zeros", "buckets", "_partials", "min", "max")
+
+    def __init__(self) -> None:
+        self.count: int = 0
+        self.zeros: int = 0
+        self.buckets: Dict[int, int] = {}
+        self._partials: List[float] = []
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: Union[int, float]) -> None:
+        value = float(value)
+        if value < 0.0 or not math.isfinite(value):
+            raise ValueError(
+                f"histogram observations must be finite and >= 0, got {value!r}"
+            )
+        self.count += 1
+        if value == 0.0:
+            self.zeros += 1
+        else:
+            e = math.frexp(value)[1]
+            self.buckets[e] = self.buckets.get(e, 0) + 1
+            _partials_add(self._partials, value)
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def sum(self) -> float:
+        """Correctly-rounded exact sum of all observations."""
+        return math.fsum(self._partials)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def _merge(self, other: "Histogram") -> None:
+        self._merge_snapshot(other._snapshot())
+
+    def _snapshot(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.sum,
+            # Exact partials in canonical form: floats round-trip through
+            # JSON bit-exactly (shortest repr), so a snapshot merge is as
+            # exact as a live one, and equal histograms - however their
+            # observations were sharded or merge-ordered - snapshot
+            # identically.
+            "sum_parts": _canonical_partials(self._partials),
+            "zeros": self.zeros,
+            "buckets": {str(e): n for e, n in sorted(self.buckets.items())},
+        }
+        if self.min is not None:
+            out["min"] = self.min
+            out["max"] = self.max
+        return out
+
+    def _merge_snapshot(self, snap: Mapping[str, Any]) -> None:
+        self.count += snap["count"]
+        self.zeros += snap["zeros"]
+        for key, n in snap["buckets"].items():
+            e = int(key)
+            self.buckets[e] = self.buckets.get(e, 0) + n
+        for part in snap["sum_parts"]:
+            _partials_add(self._partials, part)
+        if "min" in snap:
+            self.min = snap["min"] if self.min is None else min(self.min, snap["min"])
+            self.max = snap["max"] if self.max is None else max(self.max, snap["max"])
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+_KIND_NAMES = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+_KIND_CLASSES = {"counters": Counter, "gauges": Gauge, "histograms": Histogram}
+
+
+# -- the registry ------------------------------------------------------------
+
+
+def _label_items(labels: Mapping[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_key(name: str, labels: LabelItems) -> str:
+    """Canonical ``name{k=v,...}`` string for a metric key."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> MetricKey:
+    """Inverse of :func:`format_key`."""
+    if "{" not in key:
+        return key, ()
+    name, _, rest = key.partition("{")
+    if not rest.endswith("}"):
+        raise ValueError(f"malformed metric key {key!r}")
+    body = rest[:-1]
+    labels: List[Tuple[str, str]] = []
+    if body:
+        for item in body.split(","):
+            k, sep, v = item.partition("=")
+            if not sep:
+                raise ValueError(f"malformed label {item!r} in key {key!r}")
+            labels.append((k, v))
+    return name, tuple(labels)
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with label support.
+
+    Instruments are created on first use and addressed by
+    ``(name, sorted labels)``; asking for an existing name with a different
+    instrument kind raises (one family, one kind).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Instrument] = {}
+
+    # -- instrument access -----------------------------------------------
+
+    def _get(self, cls, name: str, labels: Mapping[str, Any]) -> Instrument:
+        key = (name, _label_items(labels))
+        found = self._metrics.get(key)
+        if found is None:
+            found = cls()
+            self._metrics[key] = found
+        elif type(found) is not cls:
+            raise TypeError(
+                f"metric {format_key(*key)!r} is a {_KIND_NAMES[type(found)]},"
+                f" not a {_KIND_NAMES[cls]}"
+            )
+        return found
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)  # type: ignore[return-value]
+
+    def histogram(self, name: str, **labels: Any) -> Histogram:
+        return self._get(Histogram, name, labels)  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __bool__(self) -> bool:
+        # An empty registry is still an installed registry.
+        return True
+
+    # -- snapshot / merge / reset -----------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-able, versioned snapshot of every instrument."""
+        counters: Dict[str, Any] = {}
+        gauges: Dict[str, Any] = {}
+        histograms: Dict[str, Any] = {}
+        for key in sorted(self._metrics):
+            metric = self._metrics[key]
+            skey = format_key(*key)
+            if isinstance(metric, Counter):
+                counters[skey] = metric.value
+            elif isinstance(metric, Gauge):
+                gauges[skey] = metric.value
+            else:
+                histograms[skey] = metric._snapshot()
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        }
+
+    def merge(self, other: Union["MetricsRegistry", Mapping[str, Any]]) -> None:
+        """Fold another registry (or a snapshot of one) into this registry.
+
+        Counter values add, gauge values take the max, histograms merge
+        exactly (see :class:`Histogram`) - all order-independent, so a
+        coordinator may merge shard snapshots in any order and end up with
+        the same state bit for bit.
+        """
+        snap = other.snapshot() if isinstance(other, MetricsRegistry) else other
+        schema = snap.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"cannot merge snapshot with schema {schema!r};"
+                f" expected {SNAPSHOT_SCHEMA!r}"
+            )
+        for section, cls in _KIND_CLASSES.items():
+            for skey, value in snap[section].items():
+                name, labels = parse_key(skey)
+                metric = self._get(cls, name, dict(labels))
+                if isinstance(metric, Histogram):
+                    metric._merge_snapshot(value)
+                else:
+                    metric._merge_value(value)
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    # -- exporters ---------------------------------------------------------
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_snapshot(cls, snap: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snap)
+        return registry
+
+    @classmethod
+    def from_json(cls, text: str) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(text))
+
+    def prometheus_text(self) -> str:
+        """Prometheus-style text exposition (for eyeballing, not scraping).
+
+        Histograms render cumulative ``_bucket{le=...}`` series over the
+        fixed power-of-two boundaries actually populated, plus ``_sum`` and
+        ``_count``.
+        """
+        by_family: Dict[str, List[Tuple[LabelItems, Instrument]]] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            by_family.setdefault(name, []).append((labels, metric))
+        lines: List[str] = []
+        for name, series in by_family.items():
+            kind = _KIND_NAMES[type(series[0][1])]
+            lines.append(f"# TYPE {name} {kind}")
+            for labels, metric in series:
+                if isinstance(metric, (Counter, Gauge)):
+                    lines.append(f"{format_key(name, labels)} {_fmt_num(metric.value)}")
+                    continue
+                cumulative = metric.zeros
+                for e in sorted(metric.buckets):
+                    cumulative += metric.buckets[e]
+                    le = _label_items({**dict(labels), "le": _fmt_num(2.0**e)})
+                    lines.append(
+                        f"{format_key(name + '_bucket', le)} {cumulative}"
+                    )
+                inf = _label_items({**dict(labels), "le": "+Inf"})
+                lines.append(f"{format_key(name + '_bucket', inf)} {metric.count}")
+                lines.append(f"{format_key(name + '_sum', labels)} {_fmt_num(metric.sum)}")
+                lines.append(f"{format_key(name + '_count', labels)} {metric.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_num(value: Union[int, float]) -> str:
+    if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+# -- the process-global current registry -------------------------------------
+
+_CURRENT: Optional[MetricsRegistry] = None
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    """The installed registry, or None when metrics are off (the default)."""
+    return _CURRENT
+
+
+def install_registry(
+    registry: Optional[MetricsRegistry],
+) -> Optional[MetricsRegistry]:
+    """Install ``registry`` globally; returns the previously installed one."""
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = registry
+    return previous
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` for the duration of a block."""
+    previous = install_registry(registry)
+    try:
+        yield registry
+    finally:
+        install_registry(previous)

@@ -23,6 +23,7 @@ from ..datasets.dataset import SpatialDataset
 from ..filters.object_filters import one_object_upper_bound, zero_object_upper_bound
 from ..geometry.polygon import Polygon
 from ..index.str_pack import str_bulk_load
+from ..obs.instrument import observe_pipeline
 from .costs import CostBreakdown
 
 
@@ -56,6 +57,7 @@ class WithinDistanceSelection:
         if d < 0.0:
             raise ValueError("distance must be non-negative")
         cost = CostBreakdown()
+        obs = observe_pipeline("buffer_selection", self.engine)
         mbrs = self.dataset.mbrs
         polygons = self.dataset.polygons
         query_mbr = query.mbr
@@ -95,4 +97,6 @@ class WithinDistanceSelection:
 
         positives.sort()
         cost.results = len(positives)
+        if obs is not None:
+            obs.finish(cost)
         return BufferSelectionResult(ids=positives, cost=cost)

@@ -19,6 +19,7 @@ from ..datasets.dataset import SpatialDataset
 from ..filters.interior import InteriorFilter
 from ..geometry.polygon import Polygon
 from ..index.str_pack import str_bulk_load
+from ..obs.instrument import observe_pipeline
 from .costs import CostBreakdown
 
 
@@ -50,6 +51,7 @@ class ContainmentSelection:
 
     def run(self, query: Polygon) -> ContainmentResult:
         cost = CostBreakdown()
+        obs = observe_pipeline("containment", self.engine)
 
         # MBR filtering: containment requires the MBR inside the query MBR.
         with cost.time_stage("mbr_filter"):
@@ -86,4 +88,6 @@ class ContainmentSelection:
 
         positives.sort()
         cost.results = len(positives)
+        if obs is not None:
+            obs.finish(cost)
         return ContainmentResult(ids=positives, cost=cost)

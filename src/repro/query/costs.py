@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from ..exec.trace import current_tracer
+from ..obs.metrics import current_registry
 
 
 @dataclass
@@ -80,9 +81,14 @@ class CostBreakdown:
 
         When a tracer is installed (:mod:`repro.exec.trace`), a span named
         after the stage is emitted as well, so every pipeline gets per-stage
-        tracing with no call-site changes.  Only writable stage *fields* are
-        accepted: read-only aggregates such as :attr:`total_s` are rejected
-        up front with :class:`ValueError` rather than failing on ``setattr``.
+        tracing with no call-site changes.  Likewise, when a metrics
+        registry is installed (:mod:`repro.obs.metrics`), the stage time
+        accumulates into the ``stage_seconds{stage=...}`` counter and the
+        ``stage_duration_s{stage=...}`` histogram - and with neither
+        installed, the block costs two global reads and nothing else.
+        Only writable stage *fields* are accepted: read-only aggregates
+        such as :attr:`total_s` are rejected up front with
+        :class:`ValueError` rather than failing on ``setattr``.
         """
         attr = f"{stage}_s"
         if attr not in self.__dataclass_fields__:
@@ -90,6 +96,7 @@ class CostBreakdown:
                 f"unknown stage {stage!r}; expected one of {self.stage_names()}"
             )
         tracer = current_tracer()
+        registry = current_registry()
         span = (
             tracer.span(stage, kind="stage")
             if tracer is not None
@@ -100,6 +107,10 @@ class CostBreakdown:
             try:
                 yield
             finally:
-                setattr(
-                    self, attr, getattr(self, attr) + time.perf_counter() - start
-                )
+                elapsed = time.perf_counter() - start
+                setattr(self, attr, getattr(self, attr) + elapsed)
+                if registry is not None:
+                    registry.counter("stage_seconds", stage=stage).inc(elapsed)
+                    registry.histogram("stage_duration_s", stage=stage).observe(
+                        elapsed
+                    )

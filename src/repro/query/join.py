@@ -21,6 +21,7 @@ from ..datasets.dataset import SpatialDataset
 from ..exec.parallel import ParallelExecutor
 from ..filters.progressive import ConvexHullFilter
 from ..index.mbr_join import plane_sweep_mbr_join
+from ..obs.instrument import observe_pipeline
 from .costs import CostBreakdown
 
 
@@ -65,6 +66,7 @@ class IntersectionJoin:
 
     def run(self) -> JoinResult:
         cost = CostBreakdown()
+        obs = observe_pipeline("join", self.engine)
 
         with cost.time_stage("mbr_filter"):
             candidates = plane_sweep_mbr_join(
@@ -103,4 +105,6 @@ class IntersectionJoin:
 
         results.sort()
         cost.results = len(results)
+        if obs is not None:
+            obs.finish(cost)
         return JoinResult(pairs=results, cost=cost)

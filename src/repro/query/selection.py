@@ -23,6 +23,7 @@ from ..exec.parallel import ParallelExecutor
 from ..filters.interior import InteriorFilter
 from ..geometry.polygon import Polygon
 from ..index.str_pack import str_bulk_load
+from ..obs.instrument import observe_pipeline
 from .costs import CostBreakdown
 
 
@@ -69,6 +70,7 @@ class IntersectionSelection:
     def run(self, query: Polygon) -> SelectionResult:
         """Execute one selection and return results with costs."""
         cost = CostBreakdown()
+        obs = observe_pipeline("selection", self.engine)
 
         with cost.time_stage("mbr_filter"):
             candidates = sorted(self.index.search(query.mbr))  # type: ignore[type-var]
@@ -112,6 +114,8 @@ class IntersectionSelection:
 
         positives.sort()
         cost.results = len(positives)
+        if obs is not None:
+            obs.finish(cost)
         return SelectionResult(ids=positives, cost=cost)
 
     def run_query_set(self, queries: List[Polygon]) -> CostBreakdown:

@@ -23,6 +23,7 @@ from ..exec.parallel import ParallelExecutor
 from ..filters.object_filters import one_object_upper_bound, zero_object_upper_bound
 from ..filters.progressive import ConvexHullFilter
 from ..index.mbr_join import plane_sweep_mbr_join
+from ..obs.instrument import observe_pipeline
 from .costs import CostBreakdown
 
 
@@ -72,6 +73,7 @@ class WithinDistanceJoin:
         if d < 0.0:
             raise ValueError("distance must be non-negative")
         cost = CostBreakdown()
+        obs = observe_pipeline("within_distance_join", self.engine)
         mbrs_a = self.dataset_a.mbrs
         mbrs_b = self.dataset_b.mbrs
         polys_a = self.dataset_a.polygons
@@ -138,4 +140,6 @@ class WithinDistanceJoin:
 
         results.sort()
         cost.results = len(results)
+        if obs is not None:
+            obs.finish(cost)
         return WithinDistanceResult(pairs=results, cost=cost)

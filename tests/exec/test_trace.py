@@ -2,6 +2,7 @@
 
 import io
 import json
+import time
 
 from repro.exec import (
     JsonLinesExporter,
@@ -32,6 +33,21 @@ class TestTracer:
         assert shard.parent_id == stage.span_id
         assert shard.duration_s == 0.25
         assert shard.attributes == {"shard": 3, "pairs": 100}
+
+    def test_record_default_start_is_now_minus_duration(self):
+        # A span recorded without an explicit start just *ended*: its start
+        # must be backdated by its duration, not stamped at the end time.
+        t = Tracer()
+        before = time.time()
+        span = t.record("geometry.shard", 0.5)
+        after = time.time()
+        assert before - 0.5 <= span.start_unix_s <= after - 0.5
+        assert span.start_unix_s + span.duration_s <= after
+
+    def test_record_explicit_start_wins(self):
+        t = Tracer()
+        span = t.record("x", 0.25, start_unix_s=1000.0)
+        assert span.start_unix_s == 1000.0
 
     def test_span_ids_unique(self):
         t = Tracer()
@@ -90,6 +106,50 @@ class TestJsonLinesExport:
                 )
             )
         assert json.loads(path.read_text())["name"] == "s"
+
+    def test_reuse_after_close_appends(self, tmp_path):
+        # A close/reuse cycle must not truncate earlier spans: the first
+        # open truncates, later reopens append.
+        path = tmp_path / "trace.jsonl"
+        exporter = JsonLinesExporter(str(path))
+
+        def emit(span_id, name):
+            exporter(
+                Span(
+                    span_id=span_id,
+                    parent_id=None,
+                    name=name,
+                    start_unix_s=0.0,
+                    duration_s=1.0,
+                )
+            )
+
+        emit(1, "first")
+        exporter.close()
+        emit(2, "second")
+        exporter.close()
+        names = [
+            json.loads(line)["name"]
+            for line in path.read_text().strip().splitlines()
+        ]
+        assert names == ["first", "second"]
+
+    def test_fresh_exporter_truncates(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("stale line\n")
+        with JsonLinesExporter(str(path)) as exporter:
+            exporter(
+                Span(
+                    span_id=1,
+                    parent_id=None,
+                    name="new",
+                    start_unix_s=0.0,
+                    duration_s=1.0,
+                )
+            )
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "new"
 
 
 class TestGlobalTracer:

@@ -51,6 +51,7 @@ class TestCostModel:
             cost_accum_op=1.0,
             cost_minmax_pixel=1.0,
             cost_readback_pixel=1.0,
+            cost_distance_field_pixel=1.0,
         )
         counters = CostCounters(
             draw_calls=1,
@@ -60,5 +61,20 @@ class TestCostModel:
             accum_ops=5,
             pixels_scanned=6,
             pixels_transferred=7,
+            distance_field_pixels=8,
         )
-        assert model.evaluate(counters) == 28.0
+        assert model.evaluate(counters) == 36.0
+
+    def test_distance_field_pixels_are_charged(self):
+        """Regression: distance-field sweep pixels were silently free."""
+        model = GpuCostModel()
+        cost = model.evaluate(CostCounters(distance_field_pixels=100))
+        assert cost == 100 * model.cost_distance_field_pixel
+        assert cost > 0.0
+
+    def test_distance_field_dearer_than_fill_cheaper_than_readback(self):
+        model = GpuCostModel()
+        fill = model.evaluate(CostCounters(pixels_written=100))
+        sweep = model.evaluate(CostCounters(distance_field_pixels=100))
+        readback = model.evaluate(CostCounters(pixels_transferred=100))
+        assert fill < sweep < readback

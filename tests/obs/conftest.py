@@ -1,0 +1,34 @@
+"""Shared fixtures for observability tests: small deterministic datasets."""
+
+import pytest
+
+from repro.datasets import (
+    GeneratorConfig,
+    SpatialDataset,
+    VertexCountModel,
+    generate_layer,
+)
+from repro.geometry import Rect
+
+
+def _layer(seed: int, count: int, name: str) -> SpatialDataset:
+    config = GeneratorConfig(
+        world=Rect(0.0, 0.0, 100.0, 100.0),
+        count=count,
+        vertex_model=VertexCountModel(vmin=3, vmax=40, mean=10.0),
+        coverage=1.2,
+        cluster_count=5,
+        cluster_spread=0.1,
+        roughness=0.35,
+    )
+    return SpatialDataset(name, generate_layer(config, seed), world=config.world)
+
+
+@pytest.fixture(scope="session")
+def dataset_a() -> SpatialDataset:
+    return _layer(seed=81, count=24, name="A")
+
+
+@pytest.fixture(scope="session")
+def dataset_b() -> SpatialDataset:
+    return _layer(seed=82, count=28, name="B")

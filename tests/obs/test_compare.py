@@ -1,0 +1,168 @@
+"""Tests for RunReport comparison and the regression gate's exit codes."""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs.__main__ import main as obs_main
+from repro.obs.compare import Finding, compare_reports
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runreport import build_run_report, experiment_entry
+from tests.obs.test_runreport import make_result, make_snapshot
+
+
+def make_report():
+    snap = make_snapshot()
+    return build_run_report(
+        [experiment_entry(make_result(), snap, wall_s=1.0)],
+        snap,
+        scale="tiny",
+        environment={"python": "3.11.0", "numpy": "1.26.0", "scale": "tiny"},
+    )
+
+
+class TestFinding:
+    def test_severities(self):
+        assert Finding("regression", "p", 1, 2).fails
+        assert Finding("mismatch", "p", 1, 2).fails
+        assert not Finding("warning", "p", 1, 2).fails
+
+
+class TestCompare:
+    def test_self_compare_passes(self):
+        report = make_report()
+        comparison = compare_reports(report, copy.deepcopy(report))
+        assert comparison.ok
+        assert comparison.experiments_compared == 1
+        assert comparison.failures == []
+
+    def test_injected_timing_regression_fails(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["cost_breakdown"]["geometry_s"] *= 2.0
+        comparison = compare_reports(baseline, current, tolerance=0.25)
+        assert not comparison.ok
+        assert any(
+            f.severity == "regression" and "geometry_s" in f.path
+            for f in comparison.failures
+        )
+
+    def test_faster_never_fails(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["cost_breakdown"]["geometry_s"] *= 0.1
+        assert compare_reports(baseline, current).ok
+
+    def test_within_tolerance_passes(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["cost_breakdown"]["geometry_s"] *= 1.2
+        assert compare_reports(baseline, current, tolerance=0.25).ok
+
+    def test_timing_floor_absorbs_microsecond_noise(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        # 3x on a 10us stage is noise, not a regression.
+        baseline["experiments"][0]["cost_breakdown"]["mbr_filter_s"] = 1e-5
+        current["experiments"][0]["cost_breakdown"]["mbr_filter_s"] = 3e-5
+        assert compare_reports(baseline, current, tolerance=0.25).ok
+
+    def test_counter_mismatch_fails(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["refinement_stats"]["hw_tests"] += 1
+        comparison = compare_reports(baseline, current)
+        assert not comparison.ok
+        assert any("hw_tests" in f.path for f in comparison.failures)
+
+    def test_counter_tolerance_allows_drift(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["refinement_stats"]["hw_tests"] = 303
+        assert not compare_reports(baseline, current).ok
+        assert compare_reports(baseline, current, counter_tolerance=0.05).ok
+
+    def test_missing_experiment_fails(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"] = []
+        comparison = compare_reports(baseline, current)
+        assert not comparison.ok
+        assert comparison.experiments_compared == 0
+
+    def test_extra_experiment_is_warning(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        extra = copy.deepcopy(current["experiments"][0])
+        extra["experiment_id"] = "extra"
+        current["experiments"].append(extra)
+        comparison = compare_reports(baseline, current)
+        assert comparison.ok
+        assert any(f.severity == "warning" for f in comparison.findings)
+
+    def test_environment_differences_warn_not_fail(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["environment"]["numpy"] = "2.0.0"
+        comparison = compare_reports(baseline, current)
+        assert comparison.ok
+        assert any("environment.numpy" in f.path for f in comparison.findings)
+
+    def test_non_timing_histogram_gates_on_content(self):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        hist = current["metrics"]["histograms"]["pairs_compared{pipeline=join}"]
+        hist["sum"] += 1.0
+        assert not compare_reports(baseline, current).ok
+
+    def test_timing_histogram_gates_on_count_only(self):
+        reg = MetricsRegistry()
+        reg.histogram("stage_duration_s", stage="geometry").observe(0.5)
+        snap = reg.snapshot()
+        baseline = build_run_report([], snap, scale="tiny")
+        current = copy.deepcopy(baseline)
+        hist = current["metrics"]["histograms"]["stage_duration_s{stage=geometry}"]
+        hist["sum"] *= 10  # slower, same call count: not a gate failure
+        assert compare_reports(baseline, current).ok
+        hist["count"] += 1
+        assert not compare_reports(baseline, current).ok
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_reports(make_report(), make_report(), tolerance=-0.1)
+
+
+class TestCli:
+    def write(self, path, report):
+        path.write_text(json.dumps(report))
+
+    def test_pass_exit_zero(self, tmp_path, capsys):
+        report = make_report()
+        self.write(tmp_path / "a.json", report)
+        self.write(tmp_path / "b.json", report)
+        code = obs_main(
+            ["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_regression_exit_one(self, tmp_path, capsys):
+        baseline = make_report()
+        current = copy.deepcopy(baseline)
+        current["experiments"][0]["cost_breakdown"]["geometry_s"] *= 2.0
+        self.write(tmp_path / "a.json", baseline)
+        self.write(tmp_path / "b.json", current)
+        code = obs_main(
+            ["compare", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_unreadable_exit_two(self, tmp_path, capsys):
+        self.write(tmp_path / "a.json", make_report())
+        code = obs_main(
+            ["compare", str(tmp_path / "a.json"), str(tmp_path / "missing.json")]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,240 @@
+"""End-to-end instrumentation tests: pipelines publishing into a registry.
+
+The load-bearing guarantee: per-pair metric families are *bit-identical*
+between a serial run, a batched run, and a shard-merged parallel run of the
+same workload.  Batch-shape families (``tiles_per_batch``,
+``atlas_occupancy``, ``shard_*``, submission-side ``gpu`` counters) are
+excluded - they legitimately depend on how the candidate list is sliced.
+"""
+
+import pytest
+
+from repro.core import HardwareConfig, HardwareEngine, SoftwareEngine
+from repro.core.hardware_test import HardwareSegmentTest, HardwareVerdict
+from repro.exec import ParallelExecutor
+from repro.geometry import Rect
+from repro.obs.instrument import observe_pipeline
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.query import IntersectionJoin, IntersectionSelection, WithinDistanceJoin
+
+#: Families whose totals must not depend on batching or sharding.
+DETERMINISTIC_COUNTER_FAMILIES = (
+    "hw_verdicts",
+    "refinement",
+    "cost_count",
+    "pipeline_runs",
+)
+DETERMINISTIC_HISTOGRAM_FAMILIES = (
+    "hw_test_edges",
+    "candidates_after_mbr",
+    "pairs_compared",
+)
+
+
+def hw_engine():
+    return HardwareEngine(HardwareConfig(resolution=8))
+
+
+def deterministic_view(snapshot):
+    """The snapshot restricted to the batching/sharding-invariant families."""
+
+    def keep(key, families):
+        return key.split("{")[0] in families
+
+    return {
+        "counters": {
+            k: v
+            for k, v in snapshot["counters"].items()
+            if keep(k, DETERMINISTIC_COUNTER_FAMILIES)
+        },
+        "histograms": {
+            k: v
+            for k, v in snapshot["histograms"].items()
+            if keep(k, DETERMINISTIC_HISTOGRAM_FAMILIES)
+        },
+    }
+
+
+def run_join(dataset_a, dataset_b, engine, executor=None, use_batch=True):
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        result = IntersectionJoin(
+            dataset_a, dataset_b, engine, executor=executor, use_batch=use_batch
+        ).run()
+    return result, registry.snapshot()
+
+
+class TestZeroOverheadDefault:
+    def test_no_registry_no_observer(self):
+        assert observe_pipeline("join", SoftwareEngine()) is None
+
+    def test_pipelines_untouched_without_registry(self, dataset_a, dataset_b):
+        res = IntersectionJoin(dataset_a, dataset_b, SoftwareEngine()).run()
+        assert res.pairs  # plain run, no registry anywhere
+
+
+class TestPipelineFamilies:
+    def test_join_publishes_expected_families(self, dataset_a, dataset_b):
+        engine = hw_engine()
+        result, snap = run_join(dataset_a, dataset_b, engine)
+        counters = snap["counters"]
+        assert counters["pipeline_runs{pipeline=join}"] == 1
+        assert (
+            counters["cost_count{field=pairs_compared}"]
+            == result.cost.pairs_compared
+        )
+        assert counters["cost_count{field=results}"] == len(result.pairs)
+        assert counters["refinement{field=hw_tests}"] == engine.stats.hw_tests
+        assert counters["gpu{counter=draw_calls}"] > 0
+        # One run, one observation per distribution.
+        assert snap["histograms"]["pairs_compared{pipeline=join}"]["count"] == 1
+        assert (
+            snap["histograms"]["candidates_after_mbr{pipeline=join}"]["sum"]
+            == result.cost.candidates_after_mbr
+        )
+
+    def test_stage_timings_match_cost_breakdown(self, dataset_a, dataset_b):
+        result, snap = run_join(dataset_a, dataset_b, SoftwareEngine())
+        counters = snap["counters"]
+        assert counters["stage_seconds{stage=mbr_filter}"] == pytest.approx(
+            result.cost.mbr_filter_s
+        )
+        assert counters["stage_seconds{stage=geometry}"] == pytest.approx(
+            result.cost.geometry_s
+        )
+        assert snap["histograms"]["stage_duration_s{stage=geometry}"]["count"] == 1
+
+    def test_observer_publishes_deltas_not_cumulative(self, dataset_a):
+        # One long-lived engine across two runs: each run's entry must carry
+        # only its own work, so two identical runs double the counter.
+        engine = hw_engine()
+        selection = IntersectionSelection(dataset_a, engine)
+        query = dataset_a.polygons[0]
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            selection.run(query)
+        once = registry.snapshot()["counters"]["refinement{field=pairs_tested}"]
+        registry2 = MetricsRegistry()
+        with use_registry(registry2):
+            selection.run(query)
+            selection.run(query)
+        twice = registry2.snapshot()["counters"]["refinement{field=pairs_tested}"]
+        assert twice == 2 * once
+
+    def test_verdict_counts_match_engine_stats(self, dataset_a, dataset_b):
+        engine = hw_engine()
+        _, snap = run_join(dataset_a, dataset_b, engine)
+        counters = snap["counters"]
+        verdicts = sum(
+            v for k, v in counters.items() if k.startswith("hw_verdicts{")
+        )
+        assert verdicts == engine.stats.hw_tests
+
+    def test_tiled_batch_shape_metrics(self, dataset_a, dataset_b):
+        engine = hw_engine()
+        _, snap = run_join(dataset_a, dataset_b, engine, use_batch=True)
+        tiles = snap["histograms"]["tiles_per_batch"]
+        assert tiles["count"] == snap["counters"]["gpu{counter=tile_batches}"]
+        assert tiles["sum"] == snap["counters"]["gpu{counter=tiles_packed}"]
+        occupancy = snap["histograms"]["atlas_occupancy"]
+        assert occupancy["count"] == tiles["count"]
+        assert 0.0 < occupancy["max"] <= 1.0
+
+
+class TestHardwareTestMetrics:
+    def test_serial_records_durations(self, dataset_a, dataset_b):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            IntersectionJoin(
+                dataset_a, dataset_b, hw_engine(), use_batch=False
+            ).run()
+        snap = registry.snapshot()
+        hist = snap["histograms"]["hw_test_duration_s{method=accum,op=intersect}"]
+        assert hist["count"] > 0
+        assert hist["count"] == sum(
+            v
+            for k, v in snap["counters"].items()
+            if k.startswith("hw_verdicts{op=intersect")
+        )
+
+    def test_unsupported_distance_recorded_without_duration(self):
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        a = _triangle(0.0, 0.0)
+        b = _triangle(5.0, 0.0)
+        window = Rect(0.0, 0.0, 10.0, 10.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            verdict = test.distance_verdict(a, b, window, d=1000.0)
+        assert verdict is HardwareVerdict.UNSUPPORTED
+        snap = registry.snapshot()
+        key = "hw_verdicts{op=within_distance,verdict=unsupported}"
+        assert snap["counters"][key] == 1
+        assert "hw_test_duration_s{method=accum,op=within_distance}" not in (
+            snap["histograms"]
+        )
+        assert snap["histograms"]["hw_test_edges{op=within_distance}"]["count"] == 1
+
+    def test_delegation_records_once(self):
+        # d=0 delegates to the intersection test: one verdict, op=intersect.
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        a = _triangle(0.0, 0.0)
+        b = _triangle(1.0, 0.0)
+        window = Rect(0.0, 0.0, 10.0, 10.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            test.distance_verdict(a, b, window, d=0.0)
+        counters = registry.snapshot()["counters"]
+        assert sum(counters.values()) == 1
+        (key,) = counters
+        assert key.startswith("hw_verdicts{op=intersect")
+
+
+class TestBatchShardInvariance:
+    def test_serial_vs_batched_identical(self, dataset_a, dataset_b):
+        _, serial = run_join(dataset_a, dataset_b, hw_engine(), use_batch=False)
+        _, batched = run_join(dataset_a, dataset_b, hw_engine(), use_batch=True)
+        assert deterministic_view(serial) == deterministic_view(batched)
+
+    def test_serial_vs_parallel_identical(self, dataset_a, dataset_b):
+        _, serial = run_join(dataset_a, dataset_b, hw_engine())
+        with ParallelExecutor(workers=2, min_inline_items=1) as executor:
+            _, parallel = run_join(
+                dataset_a, dataset_b, hw_engine(), executor=executor
+            )
+        assert deterministic_view(serial) == deterministic_view(parallel)
+
+    def test_shard_layout_does_not_change_totals(self, dataset_a, dataset_b):
+        snaps = []
+        for workers in (2, 3):
+            with ParallelExecutor(workers=workers, min_inline_items=1) as ex:
+                _, snap = run_join(dataset_a, dataset_b, hw_engine(), executor=ex)
+            snaps.append(deterministic_view(snap))
+        assert snaps[0] == snaps[1]
+
+    def test_parallel_within_distance(self, dataset_a, dataset_b):
+        d = 1.5
+        registry_serial = MetricsRegistry()
+        with use_registry(registry_serial):
+            WithinDistanceJoin(dataset_a, dataset_b, hw_engine()).run(d)
+        with ParallelExecutor(workers=2, min_inline_items=1) as executor:
+            registry_parallel = MetricsRegistry()
+            with use_registry(registry_parallel):
+                WithinDistanceJoin(
+                    dataset_a, dataset_b, hw_engine(), executor=executor
+                ).run(d)
+        assert deterministic_view(registry_serial.snapshot()) == (
+            deterministic_view(registry_parallel.snapshot())
+        )
+
+    def test_shard_histograms_recorded(self, dataset_a, dataset_b):
+        with ParallelExecutor(workers=2, min_inline_items=1) as executor:
+            _, snap = run_join(dataset_a, dataset_b, hw_engine(), executor=executor)
+        shard_pairs = snap["histograms"]["shard_pairs{stage=geometry}"]
+        assert shard_pairs["count"] >= 2
+        assert shard_pairs["sum"] == snap["counters"]["cost_count{field=pairs_compared}"]
+
+
+def _triangle(x: float, y: float):
+    from repro.geometry import Polygon
+
+    return Polygon.from_coords([(x, y), (x + 0.5, y), (x + 0.25, y + 0.5)])

@@ -1,0 +1,239 @@
+"""Tests for the metrics registry: instruments, snapshots, exact merging."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    current_registry,
+    format_key,
+    install_registry,
+    parse_key,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        reg.counter("runs").inc(4)
+        assert reg.snapshot()["counters"]["runs"] == 5
+
+    def test_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("runs").inc(-1)
+
+    def test_float_amounts(self):
+        reg = MetricsRegistry()
+        reg.counter("seconds").inc(0.25)
+        reg.counter("seconds").inc(0.5)
+        assert reg.snapshot()["counters"]["seconds"] == 0.75
+
+
+class TestGauge:
+    def test_last_set_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("workers").set(4)
+        reg.gauge("workers").set(2)
+        assert reg.snapshot()["gauges"]["workers"] == 2
+
+    def test_merge_takes_max(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("workers").set(2)
+        b.gauge("workers").set(8)
+        a.merge(b)
+        assert a.snapshot()["gauges"]["workers"] == 8
+
+
+class TestHistogram:
+    def test_counts_and_extremes(self):
+        h = Histogram()
+        for v in (0.0, 0.5, 1.5, 1.5, 300.0):
+            h.observe(v)
+        assert h.count == 5
+        assert h.zeros == 1
+        assert h.min == 0.0
+        assert h.max == 300.0
+        assert h.sum == pytest.approx(303.5)
+
+    def test_fixed_power_of_two_buckets(self):
+        h = Histogram()
+        h.observe(1.0)  # [1, 2) -> exponent 1
+        h.observe(1.99)
+        h.observe(2.0)  # [2, 4) -> exponent 2
+        assert h.buckets == {1: 2, 2: 1}
+
+    def test_rejects_negative_and_non_finite(self):
+        h = Histogram()
+        for bad in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError):
+                h.observe(bad)
+
+    def test_exact_sum_of_floats(self):
+        # 0.1 added ten times misrounds under naive accumulation; the
+        # partial-sums path must return the correctly-rounded exact total.
+        h = Histogram()
+        for _ in range(10):
+            h.observe(0.1)
+        assert h.sum == math.fsum([0.1] * 10)
+
+
+class TestRegistry:
+    def test_labels_address_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("verdicts", op="intersect").inc()
+        reg.counter("verdicts", op="within").inc(2)
+        snap = reg.snapshot()["counters"]
+        assert snap["verdicts{op=intersect}"] == 1
+        assert snap["verdicts{op=within}"] == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.counter("x", b="2", a="1").inc()
+        reg.counter("x", a="1", b="2").inc()
+        assert reg.snapshot()["counters"] == {"x{a=1,b=2}": 2}
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("thing").inc()
+        with pytest.raises(TypeError):
+            reg.histogram("thing")
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("runs").inc()
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_json_round_trip(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", kind="join").inc(3)
+        reg.gauge("capacity").set(256)
+        reg.histogram("dur", stage="geometry").observe(0.125)
+        clone = MetricsRegistry.from_json(reg.to_json())
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_merge_rejects_foreign_schema(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.merge({"schema": "something-else", "counters": {}})
+
+    def test_prometheus_text(self):
+        reg = MetricsRegistry()
+        reg.counter("runs", pipeline="join").inc(2)
+        reg.histogram("dur").observe(1.5)
+        reg.histogram("dur").observe(3.0)
+        text = reg.prometheus_text()
+        assert "# TYPE runs counter" in text
+        assert "runs{pipeline=join} 2" in text
+        assert "# TYPE dur histogram" in text
+        assert "dur_bucket{le=2} 1" in text
+        assert "dur_bucket{le=+Inf} 2" in text
+        assert "dur_count 2" in text
+
+
+class TestKeys:
+    def test_round_trip(self):
+        key = format_key("hw_test_duration_s", (("method", "accum"), ("op", "x")))
+        assert key == "hw_test_duration_s{method=accum,op=x}"
+        assert parse_key(key) == (
+            "hw_test_duration_s",
+            (("method", "accum"), ("op", "x")),
+        )
+
+    def test_bare_name(self):
+        assert parse_key("tiles_per_batch") == ("tiles_per_batch", ())
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_key("x{unclosed")
+        with pytest.raises(ValueError):
+            parse_key("x{novalue}")
+
+
+class TestGlobalInstall:
+    def test_default_is_none(self):
+        assert current_registry() is None
+
+    def test_use_registry_restores(self):
+        reg = MetricsRegistry()
+        with use_registry(reg):
+            assert current_registry() is reg
+        assert current_registry() is None
+
+    def test_install_returns_previous(self):
+        reg = MetricsRegistry()
+        assert install_registry(reg) is None
+        assert install_registry(None) is reg
+
+
+observations = st.lists(
+    st.one_of(
+        st.floats(
+            min_value=0.0,
+            max_value=1e12,
+            allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.integers(min_value=0, max_value=10**9),
+    ),
+    max_size=60,
+)
+
+
+class TestMergeExactness:
+    """merge(h1, h2) must equal observing the concatenated stream, exactly."""
+
+    @given(observations, observations)
+    @settings(max_examples=200, deadline=None)
+    def test_merge_equals_concatenation(self, xs, ys):
+        merged = Histogram()
+        for v in xs:
+            merged.observe(v)
+        other = Histogram()
+        for v in ys:
+            other.observe(v)
+        merged._merge(other)
+
+        concat = Histogram()
+        for v in xs + ys:
+            concat.observe(v)
+
+        assert merged._snapshot() == concat._snapshot()
+
+    @given(observations, observations, observations)
+    @settings(max_examples=100, deadline=None)
+    def test_merge_order_independent(self, xs, ys, zs):
+        def shard(values):
+            reg = MetricsRegistry()
+            for v in values:
+                reg.histogram("h").observe(v)
+                reg.counter("c").inc(1)
+            return reg.snapshot()
+
+        shards = [shard(xs), shard(ys), shard(zs)]
+        forward = MetricsRegistry()
+        for s in shards:
+            forward.merge(s)
+        backward = MetricsRegistry()
+        for s in reversed(shards):
+            backward.merge(s)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_snapshot_merge_round_trips_through_json(self):
+        # The shard->coordinator path serializes snapshots; exactness must
+        # survive JSON.
+        shard = MetricsRegistry()
+        for v in (0.1, 0.2, 0.30000000000000004, 1e-12):
+            shard.histogram("h").observe(v)
+        wire = json.loads(json.dumps(shard.snapshot()))
+        coordinator = MetricsRegistry()
+        coordinator.merge(wire)
+        assert coordinator.snapshot() == shard.snapshot()

@@ -1,0 +1,103 @@
+"""Tests for the RunReport artifact: sections, assembly, round-trip."""
+
+import pytest
+
+from repro.bench.result import ExperimentResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runreport import (
+    RUN_REPORT_SCHEMA,
+    build_run_report,
+    environment_fingerprint,
+    experiment_entry,
+    load_run_report,
+    sections_from_snapshot,
+    write_run_report,
+)
+
+
+def make_result(exp_id="fig12"):
+    return ExperimentResult(
+        experiment_id=exp_id,
+        title="Join cost vs resolution",
+        params={"scale": "tiny", "resolutions": (32, 64)},
+        columns=("resolution", "total_s"),
+        rows=[(32, 0.5), (64, 0.7)],
+    )
+
+
+def make_snapshot():
+    reg = MetricsRegistry()
+    reg.counter("stage_seconds", stage="mbr_filter").inc(0.125)
+    reg.counter("stage_seconds", stage="geometry").inc(1.5)
+    reg.counter("cost_count", field="pairs_compared").inc(420)
+    reg.counter("refinement", field="hw_tests").inc(300)
+    reg.counter("gpu", counter="draw_calls").inc(600)
+    reg.counter("unrelated").inc(7)
+    reg.histogram("pairs_compared", pipeline="join").observe(420)
+    return reg.snapshot()
+
+
+class TestEnvironmentFingerprint:
+    def test_core_fields(self):
+        env = environment_fingerprint(scale="tiny")
+        assert env["python"]
+        assert env["numpy"]
+        assert env["scale"] == "tiny"
+        assert "git_sha" in env
+        assert "platform" in env
+
+
+class TestSections:
+    def test_families_fold_into_typed_sections(self):
+        sections = sections_from_snapshot(make_snapshot())
+        assert sections["cost_breakdown"] == {
+            "mbr_filter_s": 0.125,
+            "geometry_s": 1.5,
+            "pairs_compared": 420,
+        }
+        assert sections["refinement_stats"] == {"hw_tests": 300}
+        assert sections["gpu_counters"] == {"draw_calls": 600}
+
+    def test_unrelated_families_ignored(self):
+        sections = sections_from_snapshot(make_snapshot())
+        for section in sections.values():
+            assert "unrelated" not in section
+
+
+class TestExperimentEntry:
+    def test_carries_rows_sections_and_metrics(self):
+        snap = make_snapshot()
+        entry = experiment_entry(make_result(), snap, wall_s=2.5)
+        assert entry["experiment_id"] == "fig12"
+        assert entry["row_count"] == 2
+        assert entry["rows"] == [[32, 0.5], [64, 0.7]]
+        assert entry["wall_s"] == 2.5
+        assert entry["cost_breakdown"]["geometry_s"] == 1.5
+        assert entry["metrics"]["counters"]["gpu{counter=draw_calls}"] == 600
+
+    def test_params_jsonable(self):
+        entry = experiment_entry(make_result(), make_snapshot(), wall_s=0.1)
+        assert entry["params"]["resolutions"] == [32, 64]
+
+
+class TestRoundTrip:
+    def test_write_load(self, tmp_path):
+        snap = make_snapshot()
+        report = build_run_report(
+            [experiment_entry(make_result(), snap, wall_s=1.0)],
+            snap,
+            scale="tiny",
+        )
+        assert report["schema"] == RUN_REPORT_SCHEMA
+        assert report["environment"]["scale"] == "tiny"
+        path = tmp_path / "run.json"
+        write_run_report(str(path), report)
+        loaded = load_run_report(str(path))
+        assert loaded["experiments"][0]["experiment_id"] == "fig12"
+        assert loaded["metrics"]["counters"] == report["metrics"]["counters"]
+
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other/thing@9"}')
+        with pytest.raises(ValueError, match="unsupported run-report schema"):
+            load_run_report(str(path))
