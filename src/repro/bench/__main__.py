@@ -7,6 +7,8 @@ Examples::
     python -m repro.bench fig12 --scale tiny
     python -m repro.bench all --scale small --out results.txt
     python -m repro.bench table2 --scale tiny --report-out run.json
+    python -m repro.bench table2 --scale tiny --capture-out cap.jsonl
+    python -m repro.bench table2 --scale tiny --explain-out explain.json
 """
 
 from __future__ import annotations
@@ -15,6 +17,8 @@ import argparse
 import sys
 import time
 
+from ..obs.capture import CommandRecorder, use_recorder
+from ..obs.explain import funnels_from_snapshot, render_funnels, write_explain
 from ..obs.metrics import MetricsRegistry, use_registry
 from ..obs.runreport import (
     build_run_report,
@@ -57,6 +61,18 @@ def main(argv=None) -> int:
         default=None,
         help="write the run's merged metrics snapshot as JSON",
     )
+    parser.add_argument(
+        "--capture-out",
+        default=None,
+        help="record the GPU command stream to this JSONL capture "
+        "(replayable via 'python -m repro.obs replay')",
+    )
+    parser.add_argument(
+        "--explain-out",
+        default=None,
+        help="write per-pipeline EXPLAIN ANALYZE funnels as JSON "
+        "(implies metric collection)",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -76,11 +92,21 @@ def main(argv=None) -> int:
         )
         return 2
 
-    # Metric collection is opt-in: with neither artifact requested, no
-    # registry is installed and the instrumented layers stay on their
-    # zero-overhead path.
-    collect = args.report_out is not None or args.metrics_out is not None
+    # Metric collection is opt-in: with no artifact requested, no registry
+    # is installed and the instrumented layers stay on their zero-overhead
+    # path.  Likewise capture: the flight recorder only exists (and only
+    # costs anything) when --capture-out names a stream.
+    collect = (
+        args.report_out is not None
+        or args.metrics_out is not None
+        or args.explain_out is not None
+    )
     run_registry = MetricsRegistry() if collect else None
+    recorder = (
+        CommandRecorder(stream=args.capture_out)
+        if args.capture_out is not None
+        else None
+    )
     entries = []
 
     outputs = []
@@ -89,7 +115,14 @@ def main(argv=None) -> int:
         # only its own distributions; the run-level registry merges them.
         exp_registry = MetricsRegistry() if collect else None
         start = time.perf_counter()
-        if exp_registry is not None:
+        if recorder is not None:
+            with use_recorder(recorder):
+                if exp_registry is not None:
+                    with use_registry(exp_registry):
+                        result = ALL_EXPERIMENTS[name](scale=args.scale)
+                else:
+                    result = ALL_EXPERIMENTS[name](scale=args.scale)
+        elif exp_registry is not None:
             with use_registry(exp_registry):
                 result = ALL_EXPERIMENTS[name](scale=args.scale)
         else:
@@ -102,6 +135,14 @@ def main(argv=None) -> int:
         text = result.format() + f"\n(driver wall time: {elapsed:.1f} s)\n"
         print(text)
         outputs.append(text)
+
+    if recorder is not None:
+        recorder.close()
+        print(
+            f"capture written to {args.capture_out}"
+            f" ({len(recorder.events)} event(s) in memory,"
+            f" {recorder.dropped} dropped)"
+        )
 
     if args.out:
         with open(args.out, "a", encoding="utf-8") as f:
@@ -122,6 +163,14 @@ def main(argv=None) -> int:
                 f.write(run_registry.to_json(indent=2))
                 f.write("\n")
             print(f"metrics snapshot written to {args.metrics_out}")
+        if args.explain_out:
+            funnels = funnels_from_snapshot(merged)
+            doc = write_explain(args.explain_out, funnels, source="repro.bench")
+            print(render_funnels(funnels))
+            print(f"explain JSON written to {args.explain_out}")
+            if not doc["ok"]:
+                print("funnel identity violation(s) detected", file=sys.stderr)
+                return 1
     return 0
 
 

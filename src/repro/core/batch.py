@@ -110,11 +110,14 @@ def _batched_intersect(
     hw_idx: List[int] = []
     hw_pairs: List[PairWindow] = []
     sweep_idx: List[int] = []
+    hw_maybe: set = set()
     for k, (_, a, b) in enumerate(items):
         if stats is not None:
             stats.pairs_tested += 1
         window = intersection_window(a.mbr, b.mbr)
         if window is None:
+            if stats is not None:
+                stats.prefilter_drops += 1
             continue
         if _point_in_polygon_step(a, b, stats):
             if stats is not None:
@@ -140,6 +143,7 @@ def _batched_intersect(
                 if stats is not None:
                     stats.hw_rejects += 1
             else:
+                hw_maybe.add(k)
                 sweep_idx.append(k)
 
     for k in sweep_idx:
@@ -147,8 +151,11 @@ def _batched_intersect(
         if stats is not None:
             stats.sw_segment_tests += 1
         result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
-        if result and stats is not None:
-            stats.positives += 1
+        if stats is not None:
+            if result:
+                stats.positives += 1
+            elif k in hw_maybe:
+                stats.hw_false_positives += 1
         decisions[k] = result
     return decisions
 
@@ -167,10 +174,13 @@ def _batched_within_distance(
     hw_idx: List[int] = []
     hw_pairs: List[PairWindow] = []
     soft_idx: List[int] = []
+    hw_maybe: set = set()
     for k, (_, a, b) in enumerate(items):
         if stats is not None:
             stats.pairs_tested += 1
         if not a.mbr.within_distance(b.mbr, d):
+            if stats is not None:
+                stats.prefilter_drops += 1
             continue
         if stats is not None and a.mbr.intersects(b.mbr):
             if b.mbr.contains_point(a.vertices[0]):
@@ -202,8 +212,11 @@ def _batched_within_distance(
                 if stats is not None:
                     stats.hw_rejects += 1
                 continue
-            if verdict is HardwareVerdict.UNSUPPORTED and stats is not None:
-                stats.width_limit_fallbacks += 1
+            if verdict is HardwareVerdict.UNSUPPORTED:
+                if stats is not None:
+                    stats.width_limit_fallbacks += 1
+            else:
+                hw_maybe.add(k)
             soft_idx.append(k)
 
     for k in soft_idx:
@@ -214,8 +227,11 @@ def _batched_within_distance(
             min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats)
             <= d
         )
-        if result and stats is not None:
-            stats.positives += 1
+        if stats is not None:
+            if result:
+                stats.positives += 1
+            elif k in hw_maybe:
+                stats.hw_false_positives += 1
         decisions[k] = result
     return decisions
 
@@ -236,14 +252,19 @@ def _batched_contains(
     hw_idx: List[int] = []
     hw_pairs: List[PairWindow] = []
     sweep_idx: List[int] = []
+    hw_maybe: set = set()
     for k, (_, a, b) in enumerate(items):
         if stats is not None:
             stats.pairs_tested += 1
         if not a.mbr.contains_rect(b.mbr):
+            if stats is not None:
+                stats.prefilter_drops += 1
             continue
         if stats is not None:
             stats.pip_edges += a.num_vertices
         if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+            if stats is not None:
+                stats.prefilter_drops += 1
             continue
         if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
             window = intersection_window(a.mbr, b.mbr)
@@ -267,6 +288,7 @@ def _batched_contains(
                     stats.positives += 1
                 decisions[k] = True
             else:
+                hw_maybe.add(k)
                 sweep_idx.append(k)
 
     for k in sweep_idx:
@@ -274,7 +296,9 @@ def _batched_contains(
         if stats is not None:
             stats.sw_segment_tests += 1
         result = not boundaries_intersect(a, b, True, sweep_stats)
-        if result and stats is not None:
+        if stats is not None and result:
             stats.positives += 1
+            if k in hw_maybe:
+                stats.hw_false_positives += 1
         decisions[k] = result
     return decisions

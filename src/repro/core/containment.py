@@ -44,10 +44,14 @@ def software_contains_properly(
     if stats is not None:
         stats.pairs_tested += 1
     if not a.mbr.contains_rect(b.mbr):
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if stats is not None:
         stats.pip_edges += a.num_vertices
     if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if stats is not None:
         stats.sw_segment_tests += 1
@@ -73,12 +77,17 @@ def hybrid_contains_properly(
     if stats is not None:
         stats.pairs_tested += 1
     if not a.mbr.contains_rect(b.mbr):
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if stats is not None:
         stats.pip_edges += a.num_vertices
     if locate_point(b.vertices[0], a.vertices) is not PointLocation.INSIDE:
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
 
+    hw_maybe = False
     if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
         window = intersection_window(a.mbr, b.mbr)
         assert window is not None  # a.mbr contains b.mbr
@@ -90,12 +99,17 @@ def hybrid_contains_properly(
                 stats.hw_rejects += 1
                 stats.positives += 1
             return True
+        hw_maybe = True
     elif stats is not None:
         stats.threshold_bypasses += 1
 
     if stats is not None:
         stats.sw_segment_tests += 1
     result = not boundaries_intersect(a, b, True, sweep_stats)
-    if result and stats is not None:
+    if stats is not None and result:
         stats.positives += 1
+        if hw_maybe:
+            # MAYBE, yet the sweep found no boundary crossing: the overlap
+            # filter's false positive (shared pixel, no actual crossing).
+            stats.hw_false_positives += 1
     return result

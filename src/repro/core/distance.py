@@ -42,6 +42,8 @@ def software_within_distance(
     if stats is not None:
         stats.pairs_tested += 1
     if not a.mbr.within_distance(b.mbr, d):
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if stats is not None and a.mbr.intersects(b.mbr):
         if b.mbr.contains_point(a.vertices[0]):
@@ -81,6 +83,8 @@ def hybrid_within_distance(
     if stats is not None:
         stats.pairs_tested += 1
     if not a.mbr.within_distance(b.mbr, d):
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if stats is not None and a.mbr.intersects(b.mbr):
         if b.mbr.contains_point(a.vertices[0]):
@@ -93,6 +97,7 @@ def hybrid_within_distance(
             stats.positives += 1
         return True
 
+    hw_maybe = False
     if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
         window = distance_window(a.mbr, b.mbr, d)
         if stats is not None:
@@ -102,8 +107,11 @@ def hybrid_within_distance(
             if stats is not None:
                 stats.hw_rejects += 1
             return False
-        if verdict is HardwareVerdict.UNSUPPORTED and stats is not None:
-            stats.width_limit_fallbacks += 1
+        if verdict is HardwareVerdict.UNSUPPORTED:
+            if stats is not None:
+                stats.width_limit_fallbacks += 1
+        else:
+            hw_maybe = True
     elif stats is not None:
         stats.threshold_bypasses += 1
 
@@ -112,6 +120,9 @@ def hybrid_within_distance(
     result = (
         min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats) <= d
     )
-    if result and stats is not None:
-        stats.positives += 1
+    if stats is not None:
+        if result:
+            stats.positives += 1
+        elif hw_maybe:
+            stats.hw_false_positives += 1
     return result

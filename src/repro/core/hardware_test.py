@@ -185,6 +185,11 @@ class HardwareSegmentTest:
             and limits.supports_point_size(width_px)
         ):
             if registry is not None:
+                registry.counter(
+                    "hw_line_width_overflow",
+                    op="within_distance",
+                    method=self.config.method,
+                ).inc()
                 self._observe_test(
                     registry,
                     "within_distance",
@@ -294,6 +299,12 @@ class HardwareSegmentTest:
                 and limits.supports_point_size(width_px)
             ):
                 verdicts[k] = HardwareVerdict.UNSUPPORTED
+                if registry is not None:
+                    registry.counter(
+                        "hw_line_width_overflow",
+                        op="within_distance",
+                        method=self.config.method,
+                    ).inc()
             else:
                 eligible.append(k)
                 widths.append(width_px)

@@ -65,6 +65,8 @@ def software_polygons_intersect(
     if stats is not None:
         stats.pairs_tested += 1
     if not a.mbr.intersects(b.mbr):
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
     if _point_in_polygon_step(a, b, stats):
         if stats is not None:
@@ -96,6 +98,8 @@ def hybrid_polygons_intersect(
         stats.pairs_tested += 1
     window = intersection_window(a.mbr, b.mbr)
     if window is None:
+        if stats is not None:
+            stats.prefilter_drops += 1
         return False
 
     # Step 1: software point-in-polygon.
@@ -106,6 +110,7 @@ def hybrid_polygons_intersect(
         return True
 
     # Step 2: hardware segment intersection test (unless below threshold).
+    hw_maybe = False
     if hw.config.use_hardware_for(a.num_vertices + b.num_vertices):
         if stats is not None:
             stats.hw_tests += 1
@@ -114,6 +119,7 @@ def hybrid_polygons_intersect(
             if stats is not None:
                 stats.hw_rejects += 1
             return False
+        hw_maybe = True
     elif stats is not None:
         stats.threshold_bypasses += 1
 
@@ -121,6 +127,9 @@ def hybrid_polygons_intersect(
     if stats is not None:
         stats.sw_segment_tests += 1
     result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
-    if result and stats is not None:
-        stats.positives += 1
+    if stats is not None:
+        if result:
+            stats.positives += 1
+        elif hw_maybe:
+            stats.hw_false_positives += 1
     return result

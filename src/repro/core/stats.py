@@ -16,6 +16,10 @@ class RefinementStats:
     """Outcome counters for a batch of pairwise refinement tests."""
 
     pairs_tested: int = 0
+    #: Pairs rejected before any geometry test ran: the refinement-local
+    #: MBR/locate prefilter failed (no shared window, or - for containment -
+    #: the candidate MBR/anchor vertex already disproved containment).
+    prefilter_drops: int = 0
     #: Resolved positively by the software point-in-polygon step
     #: (Algorithm 3.1 step 1): overlap or containment witnessed by a vertex.
     pip_hits: int = 0
@@ -34,6 +38,10 @@ class RefinementStats:
     sw_segment_tests: int = 0
     #: Software minDist computations executed.
     sw_distance_tests: int = 0
+    #: Hardware MAYBE verdicts the exact software test then answered the
+    #: other way - the filter's false positives (a conservative filter has
+    #: no false negatives, so this is its entire error budget).
+    hw_false_positives: int = 0
     #: Pairs answered positive overall.
     positives: int = 0
 

@@ -33,7 +33,14 @@ serial one -
   ``refinement``, ...) come out bit-identical to a serial run, in any
   merge order.  Batch-shape families (``tiles_per_batch``,
   ``atlas_occupancy``) depend on where shard boundaries cut the candidate
-  list, exactly like the submission-side cost counters above.
+  list, exactly like the submission-side cost counters above;
+* when the coordinator has a :mod:`repro.obs.capture` recorder installed,
+  each worker records its shard's GPU command stream into a fresh
+  shard-local recorder and ships the events back in
+  :attr:`ShardResult.capture`; the coordinator folds them in shard order
+  with :meth:`~repro.obs.capture.CommandRecorder.merge`, which remaps
+  pipeline ids deterministically - each shard's stream stays contiguous
+  and self-contained, so the merged capture replays shard by shard.
 """
 
 from __future__ import annotations
@@ -51,6 +58,7 @@ from ..geometry.min_dist import MinDistStats
 from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats
 from ..gpu.costmodel import CostCounters
+from ..obs.capture import CommandRecorder, current_recorder, use_recorder
 from ..obs.metrics import MetricsRegistry, current_registry, use_registry
 from .partition import partition_items, shard_count_for
 from .trace import current_tracer
@@ -109,6 +117,8 @@ class ShardResult:
     gpu_counters: Optional[CostCounters] = None
     #: Shard-local metrics snapshot (when the coordinator collects metrics).
     metrics: Optional[Dict[str, Any]] = None
+    #: Shard-local capture events (when the coordinator has a recorder).
+    capture: Optional[List[Dict[str, Any]]] = None
 
 
 @dataclass
@@ -164,18 +174,29 @@ def _init_worker(spec: EngineSpec) -> None:
 
 
 def _refine_shard(
-    task: Tuple[str, Optional[float], Sequence[WorkItem], bool],
+    task: Tuple[str, Optional[float], Sequence[WorkItem], bool, bool],
 ) -> ShardResult:
-    op, distance, items, collect_metrics = task
+    op, distance, items, collect_metrics, collect_capture = task
     engine = _WORKER_ENGINE
     assert engine is not None, "worker engine missing (pool not initialized)"
     engine.reset_stats()
     # A fresh shard-local registry per task (not per worker) so every
     # snapshot contains exactly one shard's observations - the coordinator
     # merges them and the totals cannot depend on task->worker assignment.
+    # Likewise a fresh shard-local recorder: its pipeline ids restart at p0
+    # each shard, and CommandRecorder.merge remaps them deterministically
+    # in shard order on the coordinator.
     shard_registry = MetricsRegistry() if collect_metrics else None
+    shard_recorder = CommandRecorder() if collect_capture else None
     start = time.perf_counter()
-    if shard_registry is not None:
+    if shard_recorder is not None:
+        with use_recorder(shard_recorder):
+            if shard_registry is not None:
+                with use_registry(shard_registry):
+                    matches = _refine_with(engine, op, distance, items)
+            else:
+                matches = _refine_with(engine, op, distance, items)
+    elif shard_registry is not None:
         with use_registry(shard_registry):
             matches = _refine_with(engine, op, distance, items)
     else:
@@ -195,6 +216,7 @@ def _refine_shard(
         mindist_stats=engine.mindist_stats,
         gpu_counters=counters,
         metrics=shard_registry.snapshot() if shard_registry is not None else None,
+        capture=shard_recorder.events if shard_recorder is not None else None,
     )
 
 
@@ -326,9 +348,11 @@ class ParallelExecutor:
 
         spec = EngineSpec.for_engine(engine)
         pool = self._pool_for(spec)
+        recorder = current_recorder()
         collect_metrics = registry is not None
+        collect_capture = recorder is not None
         tasks = [
-            (op, distance, shard, collect_metrics)
+            (op, distance, shard, collect_metrics, collect_capture)
             for shard in partition_items(items, shards)
         ]
         results: List[ShardResult] = pool.map(_refine_shard, tasks)
@@ -336,6 +360,8 @@ class ParallelExecutor:
             report.matches.extend(res.matches)
             report.worker_seconds += res.elapsed_s
             self._merge_shard(engine, res)
+            if recorder is not None and res.capture is not None:
+                recorder.merge(res.capture, origin=f"shard{k}")
             if tracer is not None:
                 tracer.record(
                     f"{stage}.shard",

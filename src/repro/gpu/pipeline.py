@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.rect import Rect
+from ..obs.capture import current_recorder
 from .costmodel import CostCounters
 from .framebuffer import Framebuffer
 from .raster_bulk import edges_coverage_mask
@@ -127,6 +128,9 @@ class GraphicsPipeline:
         self._offset4 = np.array(
             [window.xmin, window.ymin, window.xmin, window.ymin], dtype=np.float64
         )
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_set_window(self, window)
 
     def data_to_window(self, x: float, y: float) -> Tuple[float, float]:
         """Transform data coordinates to window (pixel) coordinates."""
@@ -153,45 +157,74 @@ class GraphicsPipeline:
         self.fb.clear_color(value)
         self.counters.buffer_clears += 1
         self.counters.pixels_cleared += self.width * self.height
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_clear(self, "color", value)
 
     def clear_accum(self, value: float = 0.0) -> None:
         self.fb.clear_accum(value)
         self.counters.buffer_clears += 1
         self.counters.pixels_cleared += self.width * self.height
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_clear(self, "accum", value)
 
     def clear_stencil(self, value: int = 0) -> None:
         self.fb.clear_stencil(value)
         self.counters.buffer_clears += 1
         self.counters.pixels_cleared += self.width * self.height
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_clear(self, "stencil", value)
 
     def clear_depth(self, value: float = 1.0) -> None:
         self.fb.clear_depth(value)
         self.counters.buffer_clears += 1
         self.counters.pixels_cleared += self.width * self.height
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_clear(self, "depth", value)
 
     def accum_add(self, scale: float = 1.0) -> None:
         self.fb.accum_add(scale)
         self.counters.accum_ops += 1
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_accum(self, "add", scale)
 
     def accum_load(self, scale: float = 1.0) -> None:
         self.fb.accum_load(scale)
         self.counters.accum_ops += 1
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_accum(self, "load", scale)
 
     def accum_return(self, scale: float = 1.0) -> None:
         self.fb.accum_return(scale)
         self.counters.accum_ops += 1
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_accum(self, "return", scale)
 
     def minmax(self, buffer: str = "color") -> Tuple[float, float]:
         """Hardware Minmax: min/max of a buffer without a bus transfer."""
         self.counters.minmax_ops += 1
         self.counters.pixels_scanned += self.width * self.height
-        return self.fb.minmax(buffer)
+        result = self.fb.minmax(buffer)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_minmax(self, buffer, result)
+        return result
 
     def read_pixels(self, buffer: str = "color"):
         """Full readback through the bus (the slow path Minmax avoids)."""
         self.counters.readback_ops += 1
         self.counters.pixels_transferred += self.width * self.height
-        return self.fb.read_pixels(buffer)
+        data = self.fb.read_pixels(buffer)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_read_pixels(self, buffer, data)
+        return data
 
     # -- draw calls -----------------------------------------------------------
 
@@ -222,16 +255,20 @@ class GraphicsPipeline:
         self.counters.edges_rendered += kept
         self.counters.edges_clipped_away += edges.shape[0] - kept
         if kept == 0:
-            return np.zeros((self.height, self.width), dtype=bool)
-        if kept != edges.shape[0]:
-            edges = edges[keep]
-        mask = edges_coverage_mask(
-            (self.height, self.width),
-            edges,
-            width_px=state.line_width,
-            cap_points=state.cap_points,
-        )
-        self.counters.pixels_written += int(np.count_nonzero(mask))
+            mask = np.zeros((self.height, self.width), dtype=bool)
+        else:
+            if kept != edges.shape[0]:
+                edges = edges[keep]
+            mask = edges_coverage_mask(
+                (self.height, self.width),
+                edges,
+                width_px=state.line_width,
+                cap_points=state.cap_points,
+            )
+            self.counters.pixels_written += int(np.count_nonzero(mask))
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_coverage_mask(self, edges_data, mask)
         return mask
 
     def compute_distance_field(self, mask: np.ndarray) -> np.ndarray:
@@ -239,7 +276,11 @@ class GraphicsPipeline:
         from .distance_field import distance_field
 
         self.counters.distance_field_pixels += self.width * self.height
-        return distance_field(mask)
+        field = distance_field(mask)
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_distance_field(self, mask, field)
+        return field
 
 
     def draw_polygon_edges(self, coords: Coords, closed: bool = True) -> None:
@@ -270,6 +311,9 @@ class GraphicsPipeline:
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
         state = self.state
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_draw_edges(self, edges_data)
 
         # Transformation stage.
         edges = (edges_data - self._offset4) * self._scale  # (E, 4): x0 y0 x1 y1
@@ -356,6 +400,9 @@ class GraphicsPipeline:
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
         self.counters.points_rendered += 1
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_draw_point(self, x, y)
         wx, wy = self.data_to_window(x, y)
         if self.state.antialias and self.state.point_size > 1.0:
             written = rasterize_point_conservative(
@@ -374,6 +421,9 @@ class GraphicsPipeline:
         """
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
+        recorder = current_recorder()
+        if recorder is not None:
+            recorder.on_draw_polygon(self, coords)
         window_coords = [self.data_to_window(x, y) for x, y in coords]
         written = rasterize_polygon_evenodd(
             self.fb.color, window_coords, color=self.state.color

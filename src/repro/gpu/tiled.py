@@ -35,6 +35,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geometry.rect import Rect
+from ..obs.capture import current_recorder
 from ..obs.metrics import current_registry
 from .framebuffer import Framebuffer
 from .pipeline import GraphicsPipeline, uniform_window_scale
@@ -59,6 +60,7 @@ class TiledPipeline:
         if max_tiles < 1:
             raise ValueError(f"max_tiles must be >= 1, got {max_tiles}")
         self.base = base
+        self.max_tiles = max_tiles
         self.tile_width = base.width
         self.tile_height = base.height
         limit = base.limits.max_viewport
@@ -124,6 +126,18 @@ class TiledPipeline:
                 threshold,
             )
             flags[start:stop] = sub_flags
+            recorder = current_recorder()
+            if recorder is not None:
+                recorder.on_tile_batch(
+                    self,
+                    edges_a[start:stop],
+                    edges_b[start:stop],
+                    windows[start:stop],
+                    w,
+                    cap_points,
+                    threshold,
+                    sub_flags,
+                )
             # Imported lazily: pulling repro.exec at module import time
             # would cycle back into repro.core -> repro.gpu.
             from ..exec.trace import current_tracer

@@ -14,10 +14,34 @@ time goes and a gate that fails when it regresses.
 * :mod:`repro.obs.runreport` - the versioned RunReport JSON artifact one
   benchmark run emits (``python -m repro.bench <exp> --report-out``);
 * :mod:`repro.obs.compare` - regression gating between two RunReports
-  (``python -m repro.obs compare baseline.json current.json``).
+  (``python -m repro.obs compare baseline.json current.json``);
+* :mod:`repro.obs.capture` - the GPU command-stream flight recorder and
+  its deterministic replayer (``python -m repro.obs replay cap.jsonl``);
+* :mod:`repro.obs.explain` - per-query EXPLAIN ANALYZE funnels over the
+  filter/refine pipeline (``python -m repro.obs explain report.json``).
 """
 
+from .capture import (
+    CAPTURE_SCHEMA,
+    CommandRecorder,
+    ReplayResult,
+    current_recorder,
+    install_recorder,
+    load_capture,
+    replay_capture,
+    replay_events,
+    use_recorder,
+)
 from .compare import Comparison, Finding, compare_reports
+from .explain import (
+    EXPLAIN_SCHEMA,
+    QueryFunnel,
+    explain_run,
+    funnels_from_snapshot,
+    render_funnel,
+    render_funnels,
+    write_explain,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -39,25 +63,41 @@ from .runreport import (
 )
 
 __all__ = [
+    "CAPTURE_SCHEMA",
+    "CommandRecorder",
     "Comparison",
     "Counter",
+    "EXPLAIN_SCHEMA",
     "Finding",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QueryFunnel",
     "RUN_REPORT_SCHEMA",
+    "ReplayResult",
     "TraceReport",
     "analyze",
     "build_run_report",
     "compare_reports",
+    "current_recorder",
     "current_registry",
     "environment_fingerprint",
     "experiment_entry",
+    "explain_run",
+    "funnels_from_snapshot",
+    "install_recorder",
     "install_registry",
+    "load_capture",
     "load_run_report",
     "load_spans",
+    "render_funnel",
+    "render_funnels",
     "render_report",
+    "replay_capture",
+    "replay_events",
     "sections_from_snapshot",
+    "use_recorder",
     "use_registry",
+    "write_explain",
     "write_run_report",
 ]

@@ -5,16 +5,20 @@ Examples::
     python -m repro.obs report trace.jsonl
     python -m repro.obs report trace.jsonl --tree --limit 20
     python -m repro.obs compare baseline.json current.json --tolerance 0.25
+    python -m repro.obs explain run-report.json --json explain.json
+    python -m repro.obs replay capture.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .compare import DEFAULT_TIMING_FLOOR_S, compare_reports
+from .explain import funnels_from_snapshot, render_funnels, write_explain
 from .report import analyze, render_report
-from .runreport import load_run_report
+from .runreport import RUN_REPORT_SCHEMA, load_run_report
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -43,6 +47,65 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     )
     print(comparison.format())
     return 0 if comparison.ok else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    try:
+        with open(args.artifact, "r", encoding="utf-8") as f:
+            artifact = json.load(f)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if artifact.get("schema") == RUN_REPORT_SCHEMA:
+        if args.experiment is not None:
+            matches = [
+                e
+                for e in artifact.get("experiments", [])
+                if e.get("experiment_id") == args.experiment
+            ]
+            if not matches:
+                known = [
+                    e.get("experiment_id")
+                    for e in artifact.get("experiments", [])
+                ]
+                print(
+                    f"error: no experiment {args.experiment!r} in report"
+                    f" (have: {known})",
+                    file=sys.stderr,
+                )
+                return 2
+            snapshot = matches[0].get("metrics", {})
+        else:
+            snapshot = artifact.get("metrics", {})
+    else:
+        # A bare MetricsRegistry snapshot (counters/gauges/histograms).
+        snapshot = artifact
+    funnels = funnels_from_snapshot(snapshot)
+    print(render_funnels(funnels))
+    if args.json is not None:
+        doc = write_explain(args.json, funnels, source=args.artifact)
+        print(f"explain JSON written to {args.json}")
+    else:
+        doc = {"ok": not [v for f in funnels.values() for v in f.check()]}
+    if not funnels:
+        return 2
+    return 0 if doc["ok"] else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .capture import replay_capture
+
+    try:
+        result = replay_capture(args.capture)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.summary())
+    for mismatch in result.mismatches[: args.limit]:
+        print(f"  {mismatch}")
+    if len(result.mismatches) > args.limit:
+        print(f"  ... {len(result.mismatches) - args.limit} more")
+    return 0 if result.ok else 1
 
 
 def main(argv=None) -> int:
@@ -89,6 +152,36 @@ def main(argv=None) -> int:
         f"(default {DEFAULT_TIMING_FLOOR_S})",
     )
     compare.set_defaults(func=_cmd_compare)
+
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN ANALYZE funnel from a RunReport or metrics snapshot",
+    )
+    explain.add_argument(
+        "artifact",
+        help="RunReport JSON (--report-out) or metrics snapshot (--metrics-out)",
+    )
+    explain.add_argument(
+        "--experiment",
+        default=None,
+        help="explain one experiment's metrics instead of the merged run",
+    )
+    explain.add_argument(
+        "--json", default=None, help="also write the explain document here"
+    )
+    explain.set_defaults(func=_cmd_explain)
+
+    replay = sub.add_parser(
+        "replay",
+        help="replay a command-stream capture; exit 1 unless bit-identical",
+    )
+    replay.add_argument(
+        "capture", help="JSONL capture written by --capture-out"
+    )
+    replay.add_argument(
+        "--limit", type=int, default=20, help="mismatch lines to print"
+    )
+    replay.set_defaults(func=_cmd_replay)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,408 @@
+"""Per-query EXPLAIN ANALYZE: the filter/refine funnel, stated and checked.
+
+The paper's whole argument is a funnel (section 4, Figure 13): the MBR
+filter admits candidates, the interior filter resolves some outright, the
+conservative hardware segment test proves others disjoint, and only the
+survivors pay for the exact software sweep - with ``sw_threshold``
+deciding when the hardware test is worth its fixed overhead.  This module
+turns one query run (or a whole benchmark's merged metrics) into that
+funnel, with every candidate attributed to exactly one resolving stage:
+
+``candidates``
+    pairs admitted by the MBR/index stage (``cost.candidates_after_mbr``);
+``interior_filter_hits``
+    resolved by the intermediate (interior) filter before refinement;
+``refined``
+    pairs handed to the refinement loop (``cost.pairs_compared``);
+``prefilter_drops``
+    rejected by the refinement-local MBR/locate prefilter;
+``pip_resolved``
+    resolved positively by the point-in-polygon step (Algorithm 3.1.1);
+``threshold_skipped``
+    sent straight to software because ``n + m <= sw_threshold``;
+``hw_proven_disjoint``
+    resolved by a hardware DISJOINT verdict (for containment this
+    *confirms* the pair; either way the pair is settled);
+``hw_needs_sweep``
+    hardware MAYBE verdicts - the exact test still had to run;
+``hw_overflow_fallbacks``
+    hardware skipped because Equation (1) demanded a line width beyond
+    the device limit (section 4.4; counted live by the
+    ``hw_line_width_overflow`` metric family);
+``hw_false_positives``
+    the MAYBE verdicts the exact test then answered the other way - the
+    conservative filter's entire error budget;
+``sw_exact``
+    exact software tests executed (plane sweep + minDist);
+``results``
+    pairs answered positive overall.
+
+Three identities tie the stages together, and :meth:`QueryFunnel.check`
+enforces them (``python -m repro.obs explain`` exits non-zero on any
+violation):
+
+* ``candidates == interior_filter_hits + refined``
+* ``refined == prefilter_drops + pip_resolved + hw_proven_disjoint
+  + sw_exact``
+* ``sw_exact == threshold_skipped + hw_needs_sweep
+  + hw_overflow_fallbacks``
+
+Like the rest of :mod:`repro.obs`, this module imports nothing from the
+rest of :mod:`repro`; engines and costs are duck-typed through
+``__dataclass_fields__``, so any layer may call :func:`explain_run`
+without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
+
+from .metrics import parse_key
+
+#: Version tag of the explain JSON document.
+EXPLAIN_SCHEMA = "repro.obs/explain@1"
+
+#: Funnel stage names, in report order.
+FUNNEL_STAGES = (
+    "candidates",
+    "interior_filter_hits",
+    "refined",
+    "prefilter_drops",
+    "pip_resolved",
+    "hw_proven_disjoint",
+    "sw_exact",
+    "threshold_skipped",
+    "hw_needs_sweep",
+    "hw_overflow_fallbacks",
+    "hw_false_positives",
+    "results",
+)
+
+#: RefinementStats fields snapshotted by :func:`explain_run`.
+_STAT_FIELDS = (
+    "pairs_tested",
+    "prefilter_drops",
+    "pip_hits",
+    "threshold_bypasses",
+    "hw_tests",
+    "hw_rejects",
+    "width_limit_fallbacks",
+    "sw_segment_tests",
+    "sw_distance_tests",
+    "hw_false_positives",
+)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@dataclass
+class QueryFunnel:
+    """One query pipeline's funnel: stage counts plus stage timings."""
+
+    pipeline: str
+    candidates: float = 0
+    interior_filter_hits: float = 0
+    refined: float = 0
+    prefilter_drops: float = 0
+    pip_resolved: float = 0
+    threshold_skipped: float = 0
+    hw_proven_disjoint: float = 0
+    hw_needs_sweep: float = 0
+    hw_overflow_fallbacks: float = 0
+    hw_false_positives: float = 0
+    sw_exact: float = 0
+    results: float = 0
+    #: Per-stage wall-clock attribution (``mbr_filter``/``intermediate_
+    #: filter``/``geometry`` seconds) when a CostBreakdown was available.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def hw_tests(self) -> float:
+        """Hardware tests attempted (incl. overflow short-circuits)."""
+        return (
+            self.hw_proven_disjoint
+            + self.hw_needs_sweep
+            + self.hw_overflow_fallbacks
+        )
+
+    @property
+    def hw_false_positive_rate(self) -> float:
+        """Fraction of hardware MAYBE verdicts the exact test overturned."""
+        return (
+            self.hw_false_positives / self.hw_needs_sweep
+            if self.hw_needs_sweep
+            else 0.0
+        )
+
+    def check(self) -> List[str]:
+        """Violated funnel identities (empty when the funnel is exact)."""
+        identities: Tuple[Tuple[str, float, float], ...] = (
+            (
+                "candidates == interior_filter_hits + refined",
+                self.candidates,
+                self.interior_filter_hits + self.refined,
+            ),
+            (
+                "refined == prefilter_drops + pip_resolved"
+                " + hw_proven_disjoint + sw_exact",
+                self.refined,
+                self.prefilter_drops
+                + self.pip_resolved
+                + self.hw_proven_disjoint
+                + self.sw_exact,
+            ),
+            (
+                "sw_exact == threshold_skipped + hw_needs_sweep"
+                " + hw_overflow_fallbacks",
+                self.sw_exact,
+                self.threshold_skipped
+                + self.hw_needs_sweep
+                + self.hw_overflow_fallbacks,
+            ),
+            (
+                "hw_false_positives <= hw_needs_sweep",
+                min(self.hw_false_positives, self.hw_needs_sweep),
+                self.hw_false_positives,
+            ),
+        )
+        return [
+            f"{self.pipeline}: {name} (lhs={lhs!r}, rhs={rhs!r})"
+            for name, lhs, rhs in identities
+            if not _close(lhs, rhs)
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {"pipeline": self.pipeline}
+        for stage in FUNNEL_STAGES:
+            doc[stage] = getattr(self, stage)
+        doc["hw_tests"] = self.hw_tests
+        doc["hw_false_positive_rate"] = self.hw_false_positive_rate
+        if self.stage_seconds:
+            doc["stage_seconds"] = dict(self.stage_seconds)
+        return doc
+
+
+def _fields(container: Any) -> Dict[str, Any]:
+    return {
+        name: getattr(container, name)
+        for name in type(container).__dataclass_fields__
+    }
+
+
+def funnel_from_deltas(
+    pipeline: str, deltas: Mapping[str, float], cost: Optional[Any] = None
+) -> QueryFunnel:
+    """Build a funnel from RefinementStats deltas (and an optional cost).
+
+    Without a :class:`~repro.query.costs.CostBreakdown`, the refinement
+    loop *is* the whole funnel: candidates equal the pairs tested and no
+    interior-filter stage exists.
+    """
+    refined = deltas.get("pairs_tested", 0)
+    funnel = QueryFunnel(
+        pipeline=pipeline,
+        candidates=refined,
+        refined=refined,
+        prefilter_drops=deltas.get("prefilter_drops", 0),
+        pip_resolved=deltas.get("pip_hits", 0),
+        threshold_skipped=deltas.get("threshold_bypasses", 0),
+        hw_proven_disjoint=deltas.get("hw_rejects", 0),
+        hw_needs_sweep=(
+            deltas.get("hw_tests", 0)
+            - deltas.get("hw_rejects", 0)
+            - deltas.get("width_limit_fallbacks", 0)
+        ),
+        hw_overflow_fallbacks=deltas.get("width_limit_fallbacks", 0),
+        hw_false_positives=deltas.get("hw_false_positives", 0),
+        sw_exact=(
+            deltas.get("sw_segment_tests", 0)
+            + deltas.get("sw_distance_tests", 0)
+        ),
+        results=deltas.get("positives", 0),
+    )
+    if cost is not None:
+        funnel.candidates = cost.candidates_after_mbr
+        funnel.interior_filter_hits = cost.filter_positives
+        funnel.refined = cost.pairs_compared
+        funnel.results = cost.results
+        funnel.stage_seconds = {
+            name[: -len("_s")]: value
+            for name, value in _fields(cost).items()
+            if name.endswith("_s")
+        }
+    return funnel
+
+
+def explain_run(
+    pipeline: str, engine: Any, run: Callable[[], Any]
+) -> Tuple[Any, QueryFunnel]:
+    """EXPLAIN ANALYZE one query: run it, return (result, funnel).
+
+    ``engine`` is any object with a ``stats`` RefinementStats; ``run`` is
+    a zero-argument callable executing the query (e.g.
+    ``lambda: selection.run(query)``) whose result carries a ``cost``
+    CostBreakdown.  The funnel is the engine's stats *delta* over the run,
+    so a long-lived engine shared by many queries attributes each query's
+    work to that query.
+    """
+    before = {name: getattr(engine.stats, name, 0) for name in _STAT_FIELDS}
+    result = run()
+    deltas = {
+        name: getattr(engine.stats, name, 0) - start
+        for name, start in before.items()
+    }
+    cost = getattr(result, "cost", None)
+    return result, funnel_from_deltas(pipeline, deltas, cost)
+
+
+# -- building funnels from recorded metric snapshots -------------------------
+
+
+def funnels_from_snapshot(
+    snapshot: Mapping[str, Any],
+) -> Dict[str, QueryFunnel]:
+    """Reconstruct per-pipeline funnels from a metrics snapshot.
+
+    Reads the ``funnel{pipeline=...,stage=...}`` counter family the
+    :class:`~repro.obs.instrument.PipelineObserver` publishes.  For
+    snapshots predating that family (or refinement loops driven without a
+    pipeline), falls back to synthesizing one ``(all)`` funnel from the
+    ``refinement{field=...}`` and ``cost_count{field=...}`` counters.
+    """
+    counters: Mapping[str, Any] = snapshot.get("counters", {})
+    funnels: Dict[str, QueryFunnel] = {}
+    for key, value in counters.items():
+        name, labels = parse_key(key)
+        if name != "funnel":
+            continue
+        label_map = dict(labels)
+        pipeline = label_map.get("pipeline", "(unknown)")
+        stage = label_map.get("stage")
+        if stage not in FUNNEL_STAGES:
+            continue
+        funnel = funnels.setdefault(pipeline, QueryFunnel(pipeline=pipeline))
+        setattr(funnel, stage, getattr(funnel, stage) + value)
+    if funnels:
+        return dict(sorted(funnels.items()))
+
+    refinement: Dict[str, float] = {}
+    cost_count: Dict[str, float] = {}
+    for key, value in counters.items():
+        name, labels = parse_key(key)
+        if name == "refinement":
+            refinement[dict(labels).get("field", "")] = value
+        elif name == "cost_count":
+            cost_count[dict(labels).get("field", "")] = value
+    if not refinement and not cost_count:
+        return {}
+    funnel = funnel_from_deltas("(all)", refinement)
+    if cost_count:
+        funnel.candidates = cost_count.get("candidates_after_mbr", 0)
+        funnel.interior_filter_hits = cost_count.get("filter_positives", 0)
+        funnel.refined = cost_count.get("pairs_compared", 0)
+        funnel.results = cost_count.get("results", 0)
+    return {"(all)": funnel}
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _pct(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole else "    -"
+
+
+def render_funnel(funnel: QueryFunnel) -> str:
+    """The text funnel report for one pipeline."""
+    f = funnel
+    lines = [f"EXPLAIN ANALYZE: {f.pipeline}"]
+
+    def row(indent: str, label: str, value: float, of: float) -> None:
+        shown = int(value) if float(value).is_integer() else round(value, 3)
+        pad = "." * max(1, 34 - len(indent) - len(label))
+        lines.append(f"{indent}{label} {pad} {shown:>10} {_pct(value, of)}")
+
+    row("  ", "candidates after MBR/index", f.candidates, f.candidates)
+    row("    ", "interior filter hits", f.interior_filter_hits, f.candidates)
+    row("    ", "refined", f.refined, f.candidates)
+    row("      ", "prefilter drops", f.prefilter_drops, f.refined)
+    row("      ", "PIP resolved", f.pip_resolved, f.refined)
+    row("      ", "hw proven disjoint", f.hw_proven_disjoint, f.refined)
+    row("      ", "exact software tests", f.sw_exact, f.refined)
+    row("        ", "sw_threshold skipped", f.threshold_skipped, f.sw_exact)
+    row("        ", "hw needs sweep", f.hw_needs_sweep, f.sw_exact)
+    row(
+        "        ",
+        "line-width overflow",
+        f.hw_overflow_fallbacks,
+        f.sw_exact,
+    )
+    row("  ", "results", f.results, f.candidates)
+    lines.append(
+        f"  hw filter: {int(f.hw_tests)} test(s),"
+        f" {int(f.hw_false_positives)} false positive(s)"
+        f" ({100.0 * f.hw_false_positive_rate:.1f}% of MAYBE verdicts)"
+    )
+    if f.stage_seconds:
+        total = sum(f.stage_seconds.values())
+        attribution = ", ".join(
+            f"{stage}={seconds:.6f}s ({_pct(seconds, total).strip()})"
+            for stage, seconds in f.stage_seconds.items()
+        )
+        lines.append(f"  cost: {attribution}")
+    violations = f.check()
+    for violation in violations:
+        lines.append(f"  IDENTITY VIOLATED: {violation}")
+    if not violations:
+        lines.append("  funnel identities: OK (stages sum to candidates)")
+    return "\n".join(lines)
+
+
+def render_funnels(funnels: Mapping[str, QueryFunnel]) -> str:
+    if not funnels:
+        return "no funnel metrics found (run with metrics collection on)"
+    return "\n\n".join(render_funnel(f) for _, f in sorted(funnels.items()))
+
+
+def explain_document(
+    funnels: Mapping[str, QueryFunnel], source: Optional[str] = None
+) -> Dict[str, Any]:
+    """The versioned JSON artifact ``--json`` / ``--explain-out`` write."""
+    violations = [v for f in funnels.values() for v in f.check()]
+    doc: Dict[str, Any] = {
+        "schema": EXPLAIN_SCHEMA,
+        "funnels": {name: f.to_dict() for name, f in sorted(funnels.items())},
+        "violations": violations,
+        "ok": not violations,
+    }
+    if source is not None:
+        doc["source"] = source
+    return doc
+
+
+def write_explain(
+    path: str, funnels: Mapping[str, QueryFunnel], source: Optional[str] = None
+) -> Dict[str, Any]:
+    doc = explain_document(funnels, source)
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return doc
+
+
+__all__ = [
+    "EXPLAIN_SCHEMA",
+    "FUNNEL_STAGES",
+    "QueryFunnel",
+    "explain_document",
+    "explain_run",
+    "funnel_from_deltas",
+    "funnels_from_snapshot",
+    "render_funnel",
+    "render_funnels",
+    "write_explain",
+]

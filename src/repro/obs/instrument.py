@@ -11,7 +11,10 @@ into metric-family increments:
 * ``refinement{field=...}`` - the engine's
   :class:`~repro.core.stats.RefinementStats` *delta* over the run;
 * ``gpu{counter=...}`` - the hardware engine's
-  :class:`~repro.gpu.costmodel.CostCounters` delta over the run.
+  :class:`~repro.gpu.costmodel.CostCounters` delta over the run;
+* ``funnel{pipeline=..., stage=...}`` - the EXPLAIN ANALYZE funnel: how
+  many candidates entered the run and which stage resolved each of them
+  (see :mod:`repro.obs.explain` for the stage identities).
 
 Deltas are computed from before/after field snapshots so a long-lived
 engine shared by many runs (``run_query_set``) attributes each run's work
@@ -75,10 +78,43 @@ class PipelineObserver:
         reg.histogram("pairs_compared", pipeline=self.pipeline).observe(
             cost.pairs_compared
         )
-        for name, before in self._stats_before.items():
-            delta = getattr(self.engine.stats, name) - before
+        deltas = {
+            name: getattr(self.engine.stats, name) - before
+            for name, before in self._stats_before.items()
+        }
+        for name, delta in deltas.items():
             if delta:
                 reg.counter("refinement", field=name).inc(delta)
+        # The EXPLAIN ANALYZE funnel: every candidate of this run is
+        # attributed to exactly one resolving stage (repro.obs.explain
+        # states and checks the identities).  Zero increments are skipped
+        # like everywhere else; absent keys read as zero downstream.
+        funnel = {
+            "candidates": cost.candidates_after_mbr,
+            "interior_filter_hits": cost.filter_positives,
+            "refined": cost.pairs_compared,
+            "prefilter_drops": deltas.get("prefilter_drops", 0),
+            "pip_resolved": deltas.get("pip_hits", 0),
+            "threshold_skipped": deltas.get("threshold_bypasses", 0),
+            "hw_proven_disjoint": deltas.get("hw_rejects", 0),
+            "hw_needs_sweep": (
+                deltas.get("hw_tests", 0)
+                - deltas.get("hw_rejects", 0)
+                - deltas.get("width_limit_fallbacks", 0)
+            ),
+            "hw_overflow_fallbacks": deltas.get("width_limit_fallbacks", 0),
+            "hw_false_positives": deltas.get("hw_false_positives", 0),
+            "sw_exact": (
+                deltas.get("sw_segment_tests", 0)
+                + deltas.get("sw_distance_tests", 0)
+            ),
+            "results": cost.results,
+        }
+        for stage, value in funnel.items():
+            if value:
+                reg.counter(
+                    "funnel", pipeline=self.pipeline, stage=stage
+                ).inc(value)
         if self._gpu_before is not None:
             gpu = self.engine.gpu_counters
             for name, before in self._gpu_before.items():

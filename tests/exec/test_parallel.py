@@ -13,6 +13,7 @@ import pytest
 from repro.core import HardwareConfig, HardwareEngine, SoftwareEngine
 from repro.exec import EngineSpec, ParallelExecutor, Tracer, use_tracer
 from repro.geometry import Polygon
+from repro.obs.capture import CommandRecorder, replay_events, use_recorder
 from repro.query import (
     IntersectionJoin,
     IntersectionSelection,
@@ -222,6 +223,61 @@ class TestPoolReuse:
                 dataset_a, dataset_b, HardwareEngine(), executor=ex
             ).run()
             assert ex._pool is not first_pool  # spec changed: rebuilt
+
+
+class TestShardCapture:
+    """Per-shard flight-recorder captures merge into one replayable stream."""
+
+    def capture_join(self, dataset_a, dataset_b, workers=2):
+        recorder = CommandRecorder()
+        engine = HardwareEngine(HardwareConfig(resolution=8))
+        with ParallelExecutor(
+            workers=workers, min_inline_items=1
+        ) as ex, use_recorder(recorder):
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+            shards = ex.last_report.shards
+        return recorder, shards
+
+    def test_shard_captures_merge_and_replay(self, dataset_a, dataset_b):
+        recorder, shards = self.capture_join(dataset_a, dataset_b)
+        assert shards > 1  # the pool really ran
+        origins = {e["origin"] for e in recorder.events if "origin" in e}
+        assert origins == {f"shard{k}" for k in range(shards)}
+        # Merged pids are contiguous and first-seen ordered.
+        pids = []
+        for event in recorder.events:
+            pid = event.get("pid")
+            if pid is not None and pid not in pids:
+                pids.append(pid)
+        assert pids == [f"p{i}" for i in range(len(pids))]
+        replay_events(recorder.events).assert_ok()
+
+    def test_shard_capture_deterministic(self, dataset_a, dataset_b):
+        first, _ = self.capture_join(dataset_a, dataset_b)
+        second, _ = self.capture_join(dataset_a, dataset_b)
+        assert first.events == second.events
+
+    def test_inline_executor_records_into_callers_recorder(
+        self, dataset_a, dataset_b
+    ):
+        recorder = CommandRecorder()
+        engine = HardwareEngine(HardwareConfig(resolution=8))
+        with ParallelExecutor(workers=1) as ex, use_recorder(recorder):
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+        assert recorder.events
+        # Inline path records directly: no shard provenance tags.
+        assert not any("origin" in e for e in recorder.events)
+        replay_events(recorder.events).assert_ok()
+
+    def test_no_recorder_no_capture_shipping(self, dataset_a, dataset_b):
+        engine = HardwareEngine(HardwareConfig(resolution=8))
+        with make_executor() as ex:
+            IntersectionJoin(dataset_a, dataset_b, engine, executor=ex).run()
+        # Nothing installed: the coordinator recorder stays absent and the
+        # run is indistinguishable from the pre-capture executor.
+        from repro.obs.capture import current_recorder
+
+        assert current_recorder() is None
 
 
 class TestBatchedShards:

@@ -1,0 +1,359 @@
+"""EXPLAIN ANALYZE funnel tests.
+
+The funnel is only worth printing if it is *exact*: every stage count must
+agree with the engine's RefinementStats, the identities must hold for
+serial, batched, and shard-merged execution of the same query set, and the
+three execution modes must produce the same funnel.
+"""
+
+import json
+
+import pytest
+
+from repro.core import HardwareConfig, HardwareEngine
+from repro.exec import ParallelExecutor
+from repro.obs.__main__ import main as obs_main
+from repro.obs.capture import CommandRecorder, use_recorder
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    FUNNEL_STAGES,
+    QueryFunnel,
+    explain_run,
+    funnel_from_deltas,
+    funnels_from_snapshot,
+    render_funnel,
+    render_funnels,
+    write_explain,
+)
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.query import (
+    ContainmentSelection,
+    IntersectionJoin,
+    WithinDistanceJoin,
+)
+
+
+def hw_engine(**kwargs):
+    return HardwareEngine(HardwareConfig(resolution=8, **kwargs))
+
+
+class TestQueryFunnelUnits:
+    def balanced(self):
+        return QueryFunnel(
+            pipeline="join",
+            candidates=10,
+            interior_filter_hits=2,
+            refined=8,
+            prefilter_drops=1,
+            pip_resolved=2,
+            hw_proven_disjoint=1,
+            sw_exact=4,
+            threshold_skipped=1,
+            hw_needs_sweep=2,
+            hw_overflow_fallbacks=1,
+            hw_false_positives=1,
+            results=3,
+        )
+
+    def test_identities_hold_for_balanced_funnel(self):
+        assert self.balanced().check() == []
+
+    def test_each_identity_detected_when_broken(self):
+        for stage, fragment in (
+            ("interior_filter_hits", "candidates =="),
+            ("pip_resolved", "refined =="),
+            ("threshold_skipped", "sw_exact =="),
+        ):
+            funnel = self.balanced()
+            setattr(funnel, stage, getattr(funnel, stage) + 1)
+            violations = funnel.check()
+            assert violations, stage
+            assert any(fragment in v for v in violations), stage
+
+    def test_false_positives_bounded_by_maybe_verdicts(self):
+        funnel = self.balanced()
+        funnel.hw_false_positives = funnel.hw_needs_sweep + 1
+        assert any("hw_false_positives" in v for v in funnel.check())
+
+    def test_derived_quantities(self):
+        funnel = self.balanced()
+        assert funnel.hw_tests == 1 + 2 + 1
+        assert funnel.hw_false_positive_rate == pytest.approx(0.5)
+        assert QueryFunnel(pipeline="x").hw_false_positive_rate == 0.0
+
+    def test_to_dict_carries_every_stage(self):
+        doc = self.balanced().to_dict()
+        for stage in FUNNEL_STAGES:
+            assert stage in doc
+        assert doc["hw_tests"] == 4
+        assert "stage_seconds" not in doc  # empty timings are omitted
+
+    def test_render_reports_ok_or_violation(self):
+        ok = render_funnel(self.balanced())
+        assert "funnel identities: OK" in ok
+        broken = self.balanced()
+        broken.refined += 1
+        assert "IDENTITY VIOLATED" in render_funnel(broken)
+
+    def test_funnel_from_deltas_without_cost(self):
+        deltas = {
+            "pairs_tested": 6,
+            "prefilter_drops": 1,
+            "pip_hits": 1,
+            "threshold_bypasses": 0,
+            "hw_tests": 4,
+            "hw_rejects": 2,
+            "width_limit_fallbacks": 0,
+            "sw_segment_tests": 2,
+            "sw_distance_tests": 0,
+            "hw_false_positives": 1,
+            "positives": 2,
+        }
+        funnel = funnel_from_deltas("loop", deltas)
+        assert funnel.candidates == funnel.refined == 6
+        assert funnel.hw_needs_sweep == 2
+        assert funnel.results == 2
+        assert funnel.check() == []
+
+
+def assert_funnel_matches_stats(funnel, stats):
+    """Satellite: the funnel is the RefinementStats, restated and checked."""
+    assert funnel.refined == stats.pairs_tested
+    assert funnel.prefilter_drops == stats.prefilter_drops
+    assert funnel.pip_resolved == stats.pip_hits
+    assert funnel.threshold_skipped == stats.threshold_bypasses
+    assert funnel.hw_proven_disjoint == stats.hw_rejects
+    assert funnel.hw_overflow_fallbacks == stats.width_limit_fallbacks
+    assert funnel.hw_needs_sweep == (
+        stats.hw_tests - stats.hw_rejects - stats.width_limit_fallbacks
+    )
+    assert funnel.hw_false_positives == stats.hw_false_positives
+    assert funnel.sw_exact == stats.sw_segment_tests + stats.sw_distance_tests
+    assert funnel.check() == []
+
+
+def comparable(funnel):
+    doc = funnel.to_dict()
+    doc.pop("stage_seconds", None)  # timings legitimately differ
+    return doc
+
+
+class TestExplainRunConsistency:
+    """Serial, batched, and sharded runs yield one and the same funnel."""
+
+    def run_join(self, dataset_a, dataset_b, mode):
+        engine = hw_engine()
+        if mode == "sharded":
+            with ParallelExecutor(workers=2, min_inline_items=1) as ex:
+                result, funnel = explain_run(
+                    "join",
+                    engine,
+                    lambda: IntersectionJoin(
+                        dataset_a, dataset_b, engine, executor=ex
+                    ).run(),
+                )
+        else:
+            result, funnel = explain_run(
+                "join",
+                engine,
+                lambda: IntersectionJoin(
+                    dataset_a, dataset_b, engine, use_batch=(mode == "batched")
+                ).run(),
+            )
+        return engine, result, funnel
+
+    @pytest.mark.parametrize("mode", ["serial", "batched", "sharded"])
+    def test_funnel_matches_refinement_stats(self, dataset_a, dataset_b, mode):
+        engine, result, funnel = self.run_join(dataset_a, dataset_b, mode)
+        assert_funnel_matches_stats(funnel, engine.stats)
+        assert funnel.candidates == result.cost.candidates_after_mbr
+        assert funnel.refined == result.cost.pairs_compared
+        assert funnel.results == len(result.pairs)
+        assert funnel.stage_seconds  # cost attribution came along
+
+    def test_modes_agree_exactly(self, dataset_a, dataset_b):
+        funnels = [
+            comparable(self.run_join(dataset_a, dataset_b, mode)[2])
+            for mode in ("serial", "batched", "sharded")
+        ]
+        assert funnels[0] == funnels[1] == funnels[2]
+
+    def test_within_distance_and_containment_funnels(
+        self, dataset_a, dataset_b
+    ):
+        engine = hw_engine()
+        _, wd = explain_run(
+            "within_distance_join",
+            engine,
+            lambda: WithinDistanceJoin(dataset_a, dataset_b, engine).run(1.5),
+        )
+        assert_funnel_matches_stats(wd, engine.stats)
+        engine2 = hw_engine()
+        selection = ContainmentSelection(dataset_b, engine2)
+        _, ct = explain_run(
+            "containment",
+            engine2,
+            lambda: selection.run(dataset_a.polygons[0]),
+        )
+        assert_funnel_matches_stats(ct, engine2.stats)
+
+    def test_long_lived_engine_attributes_deltas(self, dataset_a, dataset_b):
+        # A second identical run on the same engine must see its own work,
+        # not the cumulative stats.
+        engine = hw_engine()
+        run = lambda: IntersectionJoin(dataset_a, dataset_b, engine).run()  # noqa: E731
+        _, first = explain_run("join", engine, run)
+        _, second = explain_run("join", engine, run)
+        assert comparable(first) == comparable(second)
+
+
+class TestFunnelsFromSnapshot:
+    def snapshot_for(self, dataset_a, dataset_b, run):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            run()
+        return registry.snapshot()
+
+    def test_funnel_family_reconstructed(self, dataset_a, dataset_b):
+        engine = hw_engine()
+        snap = self.snapshot_for(
+            dataset_a,
+            dataset_b,
+            lambda: IntersectionJoin(dataset_a, dataset_b, engine).run(),
+        )
+        funnels = funnels_from_snapshot(snap)
+        assert set(funnels) == {"join"}
+        funnel = funnels["join"]
+        assert_funnel_matches_stats(funnel, engine.stats)
+        assert funnel.candidates == snap["counters"][
+            "cost_count{field=candidates_after_mbr}"
+        ]
+
+    def test_two_pipelines_stay_separate(self, dataset_a, dataset_b):
+        def run():
+            IntersectionJoin(dataset_a, dataset_b, hw_engine()).run()
+            WithinDistanceJoin(dataset_a, dataset_b, hw_engine()).run(1.5)
+
+        funnels = funnels_from_snapshot(
+            self.snapshot_for(dataset_a, dataset_b, run)
+        )
+        assert set(funnels) == {"join", "within_distance_join"}
+        for funnel in funnels.values():
+            assert funnel.check() == []
+
+    def test_fallback_synthesizes_single_funnel(self):
+        snapshot = {
+            "counters": {
+                "refinement{field=pairs_tested}": 4,
+                "refinement{field=hw_tests}": 4,
+                "refinement{field=hw_rejects}": 1,
+                "refinement{field=sw_segment_tests}": 3,
+                "cost_count{field=candidates_after_mbr}": 4,
+                "cost_count{field=pairs_compared}": 4,
+                "cost_count{field=results}": 2,
+            }
+        }
+        funnels = funnels_from_snapshot(snapshot)
+        assert set(funnels) == {"(all)"}
+        assert funnels["(all)"].hw_needs_sweep == 3
+        assert funnels["(all)"].check() == []
+
+    def test_empty_snapshot_yields_no_funnels(self):
+        assert funnels_from_snapshot({"counters": {}}) == {}
+        assert "no funnel metrics" in render_funnels({})
+
+
+class TestLineWidthOverflow:
+    """Satellite: the 10px-limit fallback is counted and surfaced."""
+
+    def overflow_run(self, dataset_a, dataset_b, use_batch):
+        # High resolution + a query distance comparable to the window makes
+        # Equation (1)'s width exceed the 10px device limit (section 4.4).
+        engine = HardwareEngine(HardwareConfig(resolution=32))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            WithinDistanceJoin(
+                dataset_a, dataset_b, engine, use_batch=use_batch
+            ).run(25.0)
+        return engine, registry.snapshot()
+
+    @pytest.mark.parametrize("use_batch", [False, True])
+    def test_overflow_counter_matches_fallbacks(
+        self, dataset_a, dataset_b, use_batch
+    ):
+        engine, snap = self.overflow_run(dataset_a, dataset_b, use_batch)
+        assert engine.stats.width_limit_fallbacks > 0
+        key = "hw_line_width_overflow{method=accum,op=within_distance}"
+        assert snap["counters"][key] == engine.stats.width_limit_fallbacks
+
+    def test_overflow_surfaced_in_funnel(self, dataset_a, dataset_b):
+        engine, snap = self.overflow_run(dataset_a, dataset_b, True)
+        funnel = funnels_from_snapshot(snap)["within_distance_join"]
+        assert funnel.hw_overflow_fallbacks == engine.stats.width_limit_fallbacks
+        assert funnel.check() == []
+        assert "line-width overflow" in render_funnel(funnel)
+
+
+class TestExplainDocument:
+    def test_write_explain_round_trip(self, tmp_path, dataset_a, dataset_b):
+        engine = hw_engine()
+        _, funnel = explain_run(
+            "join",
+            engine,
+            lambda: IntersectionJoin(dataset_a, dataset_b, engine).run(),
+        )
+        path = tmp_path / "explain.json"
+        doc = write_explain(str(path), {"join": funnel}, source="test")
+        assert doc["ok"]
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == EXPLAIN_SCHEMA
+        assert loaded["source"] == "test"
+        assert loaded["funnels"]["join"]["refined"] == funnel.refined
+        assert loaded["violations"] == []
+
+
+class TestCli:
+    def metrics_file(self, tmp_path, dataset_a, dataset_b):
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            IntersectionJoin(dataset_a, dataset_b, hw_engine()).run()
+        path = tmp_path / "metrics.json"
+        path.write_text(registry.to_json(indent=2))
+        return path
+
+    def test_explain_cli_on_snapshot(
+        self, tmp_path, capsys, dataset_a, dataset_b
+    ):
+        path = self.metrics_file(tmp_path, dataset_a, dataset_b)
+        out = tmp_path / "explain.json"
+        assert obs_main(["explain", str(path), "--json", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "EXPLAIN ANALYZE: join" in printed
+        assert "funnel identities: OK" in printed
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_explain_cli_rejects_funnel_free_artifact(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text('{"counters": {}}')
+        assert obs_main(["explain", str(path)]) == 2
+
+    def test_explain_cli_missing_file(self, tmp_path, capsys):
+        assert obs_main(["explain", str(tmp_path / "nope.json")]) == 2
+
+    def test_replay_cli_round_trip(self, tmp_path, capsys, dataset_a, dataset_b):
+        recorder = CommandRecorder()
+        with use_recorder(recorder):
+            IntersectionJoin(dataset_a, dataset_b, hw_engine()).run()
+        path = tmp_path / "cap.jsonl"
+        recorder.save(str(path))
+        assert obs_main(["replay", str(path)]) == 0
+        assert "MATCH" in capsys.readouterr().out
+        events = json.loads(json.dumps(recorder.events))
+        tampered = [e for e in events if e["cmd"] == "tile_batch"]
+        assert tampered
+        tampered[0]["atlas_digest"] = "0" * 64
+        from repro.obs.capture import write_events
+
+        write_events(str(path), events)
+        assert obs_main(["replay", str(path)]) == 1
+        assert "DIVERGED" in capsys.readouterr().out

@@ -189,6 +189,126 @@ class TestHardwareTestMetrics:
         assert key.startswith("hw_verdicts{op=intersect")
 
 
+class TestDistanceFieldObservation:
+    """Regression: every distance-field entry point routes through
+    ``_observe_test`` exactly once per pair - the field verdict must never
+    bypass the observation hook, whichever API level invoked it."""
+
+    def setup_method(self):
+        self.a = _triangle(0.0, 0.0)
+        self.b = _triangle(2.0, 0.0)
+        self.window = Rect(0.0, 0.0, 10.0, 10.0)
+
+    @staticmethod
+    def verdict_total(snap):
+        return sum(
+            v
+            for k, v in snap["counters"].items()
+            if k.startswith("hw_verdicts{")
+        )
+
+    def test_direct_field_verdict_records_once(self):
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            test.distance_field_verdict(self.a, self.b, self.window, d=1.0)
+        snap = registry.snapshot()
+        assert self.verdict_total(snap) == 1
+        hist = snap["histograms"]
+        assert hist["hw_test_duration_s{method=field,op=within_distance}"][
+            "count"
+        ] == 1
+        assert hist["hw_test_edges{op=within_distance}"]["count"] == 1
+
+    def test_field_mode_distance_verdict_records_once(self):
+        # distance_verdict delegates to the field test; the observation
+        # must happen in the delegate, once, not zero or two times.
+        test = HardwareSegmentTest(
+            HardwareConfig(resolution=8, distance_mode="field")
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            test.distance_verdict(self.a, self.b, self.window, d=1.0)
+        snap = registry.snapshot()
+        assert self.verdict_total(snap) == 1
+        assert snap["histograms"][
+            "hw_test_duration_s{method=field,op=within_distance}"
+        ]["count"] == 1
+
+    def test_field_mode_batch_records_per_pair(self):
+        test = HardwareSegmentTest(
+            HardwareConfig(resolution=8, distance_mode="field")
+        )
+        pairs = [(self.a, self.b, self.window)] * 3
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            verdicts = test.distance_verdicts_batch(pairs, d=1.0)
+        assert len(verdicts) == 3
+        snap = registry.snapshot()
+        assert self.verdict_total(snap) == 3
+        assert snap["histograms"]["hw_test_edges{op=within_distance}"][
+            "count"
+        ] == 3
+
+    def test_field_mode_never_overflows(self):
+        # The field test is distance-insensitive: no widened lines, so the
+        # overflow counter must stay silent even at extreme distances.
+        test = HardwareSegmentTest(
+            HardwareConfig(resolution=8, distance_mode="field")
+        )
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            verdict = test.distance_verdict(self.a, self.b, self.window, d=1000.0)
+        assert verdict is not HardwareVerdict.UNSUPPORTED
+        counters = registry.snapshot()["counters"]
+        assert not any(
+            k.startswith("hw_line_width_overflow{") for k in counters
+        )
+
+
+class TestLineWidthOverflowCounter:
+    """The 10px-limit fallback increments its labelled counter (satellite)."""
+
+    def test_per_pair_overflow_counted(self):
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        a, b = _triangle(0.0, 0.0), _triangle(5.0, 0.0)
+        window = Rect(0.0, 0.0, 10.0, 10.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            verdict = test.distance_verdict(a, b, window, d=1000.0)
+        assert verdict is HardwareVerdict.UNSUPPORTED
+        counters = registry.snapshot()["counters"]
+        key = "hw_line_width_overflow{method=accum,op=within_distance}"
+        assert counters[key] == 1
+        assert counters["hw_verdicts{op=within_distance,verdict=unsupported}"] == 1
+
+    def test_batched_overflow_counted_per_pair(self):
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        a, b = _triangle(0.0, 0.0), _triangle(5.0, 0.0)
+        window = Rect(0.0, 0.0, 10.0, 10.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            verdicts = test.distance_verdicts_batch(
+                [(a, b, window)] * 4, d=1000.0
+            )
+        assert all(v is HardwareVerdict.UNSUPPORTED for v in verdicts)
+        counters = registry.snapshot()["counters"]
+        key = "hw_line_width_overflow{method=accum,op=within_distance}"
+        assert counters[key] == 4
+
+    def test_no_overflow_no_counter(self):
+        test = HardwareSegmentTest(HardwareConfig(resolution=8))
+        a, b = _triangle(0.0, 0.0), _triangle(1.0, 0.0)
+        window = Rect(0.0, 0.0, 10.0, 10.0)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            test.distance_verdict(a, b, window, d=1.0)
+        assert not any(
+            k.startswith("hw_line_width_overflow{")
+            for k in registry.snapshot()["counters"]
+        )
+
+
 class TestBatchShardInvariance:
     def test_serial_vs_batched_identical(self, dataset_a, dataset_b):
         _, serial = run_join(dataset_a, dataset_b, hw_engine(), use_batch=False)
