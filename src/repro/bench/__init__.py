@@ -18,6 +18,7 @@ from .experiments import (
     ablation_projection,
     ablation_restricted_sweep,
     batch_refine,
+    cache_effectiveness,
     fig10_selection_tiling,
     exec_parallel,
     fig11_selection_resolution,
@@ -47,6 +48,7 @@ __all__ = [
     "ablation_projection",
     "ablation_restricted_sweep",
     "batch_refine",
+    "cache_effectiveness",
     "exec_parallel",
     "fig10_selection_tiling",
     "fig11_selection_resolution",

@@ -5,6 +5,8 @@ Examples::
     python -m repro.bench list
     python -m repro.bench table2
     python -m repro.bench fig12 --scale tiny
+    python -m repro.bench batch-refine cache --scale tiny --report-out run.json
+    python -m repro.bench cache --cache --scale tiny
     python -m repro.bench all --scale small --out results.txt
     python -m repro.bench table2 --scale tiny --report-out run.json
     python -m repro.bench table2 --scale tiny --capture-out cap.jsonl
@@ -17,6 +19,7 @@ import argparse
 import sys
 import time
 
+from ..cache import CacheConfig, set_default_cache_config
 from ..obs.capture import CommandRecorder, use_recorder
 from ..obs.explain import funnels_from_snapshot, render_funnels, write_explain
 from ..obs.metrics import MetricsRegistry, use_registry
@@ -37,7 +40,21 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (see 'list'), or 'list', or 'all'",
+        nargs="+",
+        help="experiment id(s) (see 'list'), or 'list', or 'all'",
+    )
+    cache_group = parser.add_mutually_exclusive_group()
+    cache_group.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the repro.cache memoization layers for every engine "
+        "this run constructs (answers are unchanged; redundant work is "
+        "skipped)",
+    )
+    cache_group.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="force memoization off (the default)",
     )
     parser.add_argument(
         "--scale",
@@ -75,23 +92,42 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.experiment == "list":
+    if args.experiment == ["list"]:
         for name in ALL_EXPERIMENTS:
             print(name)
         return 0
 
-    if args.experiment == "all":
+    if "all" in args.experiment:
         names = list(ALL_EXPERIMENTS)
-    elif args.experiment in ALL_EXPERIMENTS:
-        names = [args.experiment]
     else:
-        print(
-            f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(ALL_EXPERIMENTS)}",
-            file=sys.stderr,
-        )
-        return 2
+        names = list(dict.fromkeys(args.experiment))  # keep order, dedupe
+        unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+        if unknown:
+            print(
+                f"unknown experiment(s) {', '.join(map(repr, unknown))}; "
+                f"choose from {', '.join(ALL_EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
 
+    # The default-config switch is resolved by engines at construction, so
+    # setting it here covers every engine the drivers build without
+    # touching their signatures.  Restored on exit: main() is also called
+    # in-process by the tests.
+    if args.cache:
+        previous_cache = set_default_cache_config(CacheConfig())
+    elif args.no_cache:
+        previous_cache = set_default_cache_config(CacheConfig.disabled())
+    else:
+        previous_cache = None
+    try:
+        return _run(args, names)
+    finally:
+        if previous_cache is not None:
+            set_default_cache_config(previous_cache)
+
+
+def _run(args, names) -> int:
     # Metric collection is opt-in: with no artifact requested, no registry
     # is installed and the instrumented layers stay on their zero-overhead
     # path.  Likewise capture: the flight recorder only exists (and only

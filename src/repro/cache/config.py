@@ -1,0 +1,74 @@
+"""Cache configuration and the process-wide default.
+
+A :class:`CacheConfig` travels on :class:`~repro.core.config.HardwareConfig`
+(and on engine constructors directly) so every engine - serial, batched, or
+rebuilt inside a pool worker - knows exactly which caches to run and how
+large.  It is frozen, hashable, and picklable: the parallel executor ships
+the *resolved* configuration to workers, so a worker never consults its own
+process default (which would silently differ from the coordinator's).
+
+Caching defaults to **off**: the caches only remove redundant work, but
+off-by-default keeps every existing experiment and baseline bit-identical
+unless a run opts in (``python -m repro.bench ... --cache``, or an explicit
+``CacheConfig`` on the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Which memoization layers run, and how much each may retain."""
+
+    #: Memoize hardware test verdicts per (op, method, pair, window, D).
+    verdicts: bool = True
+    #: Memoize per-polygon edge coverage masks per (polygon, window, width).
+    renders: bool = True
+    #: Memoize exact software decisions (plane sweep, minDist <= D).
+    predicates: bool = True
+    verdict_capacity: int = 4096
+    render_capacity: int = 512
+    predicate_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        for name in ("verdict_capacity", "render_capacity", "predicate_capacity"):
+            value = getattr(self, name)
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+
+    @classmethod
+    def disabled(cls) -> "CacheConfig":
+        """The all-off configuration (the process default)."""
+        return cls(verdicts=False, renders=False, predicates=False)
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.verdicts or self.renders or self.predicates
+
+
+#: The process default, used whenever ``HardwareConfig.cache`` (or an
+#: engine's ``cache`` argument) is left as None.
+_DEFAULT = CacheConfig.disabled()
+
+
+def default_cache_config() -> CacheConfig:
+    """The configuration unconfigured engines resolve to at construction."""
+    return _DEFAULT
+
+
+def set_default_cache_config(config: CacheConfig) -> CacheConfig:
+    """Replace the process default; returns the previous one.
+
+    Engines resolve the default **once, at construction** - changing it
+    never affects already-built engines.  This is the hook behind the
+    ``--cache`` / ``--no-cache`` CLI flags.
+    """
+    global _DEFAULT
+    previous = _DEFAULT
+    _DEFAULT = config
+    return previous
+
+
+__all__ = ["CacheConfig", "default_cache_config", "set_default_cache_config"]

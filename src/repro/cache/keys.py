@@ -1,0 +1,42 @@
+"""Canonical cache-key material: window bytes and polygon digests.
+
+Cache keys must satisfy one property: **equal key implies bit-identical
+cached computation**.  Both helpers here are exact, not approximate:
+
+* :func:`window_key` serializes a projection window's four float64
+  coordinates byte for byte, collapsing IEEE ``-0.0`` onto ``+0.0`` first.
+  The projection subtracts ``xmin``/``ymin`` and divides by extents, and
+  ``x - (-0.0) == x - 0.0`` for every ``x``, so the two zeros render
+  identically - they *are* the same window.  Any other bit difference in a
+  coordinate can change the rasterization and therefore keys separately.
+* Polygon identity is the polygon's content digest
+  (:attr:`~repro.geometry.polygon.Polygon.digest`): SHA-256 over the
+  vertex coordinate bytes, computed once per polygon object and shared by
+  every cache.  Distinct polygon objects with identical vertices (the
+  duplicate geometries of a skewed join) hash equal, which is precisely
+  what makes the caches effective across objects, not just across repeated
+  Python references.
+"""
+
+from __future__ import annotations
+
+import struct
+
+_PACK4 = struct.Struct("<4d").pack
+
+
+def window_key(window) -> bytes:
+    """The canonical byte form of a projection window (a Rect-like).
+
+    Adding ``0.0`` maps ``-0.0`` to ``+0.0`` and is the identity for every
+    other float, so windows that render identically share a key.
+    """
+    return _PACK4(
+        window.xmin + 0.0,
+        window.ymin + 0.0,
+        window.xmax + 0.0,
+        window.ymax + 0.0,
+    )
+
+
+__all__ = ["window_key"]

@@ -1,0 +1,101 @@
+"""A bounded LRU mapping: the storage layer shared by every cache kind.
+
+The cache subsystem never caps correctness - every cached value is a
+deterministic function of its key - so the only policy decision is *what to
+forget* when the capacity bound is hit, and plain least-recently-used is the
+right default for the workloads the caches target (repeated query polygons,
+skewed joins: the hot keys are the recently-touched ones by construction).
+
+Hit/miss/eviction tallies are kept as plain integers on the cache itself
+(always, they are just increments) and additionally published into the
+process's :func:`~repro.obs.metrics.current_registry` when one is installed
+- the same zero-overhead-by-default pattern the rest of the instrumentation
+uses.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable
+
+from ..obs.metrics import current_registry
+
+#: Returned by :meth:`LruCache.get` on a miss; never a legal cached value
+#: (``None`` and ``False`` are legal - verdicts and predicate results).
+MISSING = object()
+
+
+class LruCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used entry
+    once ``capacity`` is exceeded.  Counts its own hits, misses, and
+    evictions.
+    """
+
+    __slots__ = ("capacity", "hits", "misses", "evictions", "_entries")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value, or :data:`MISSING` (refreshes recency on hit)."""
+        value = self._entries.get(key, MISSING)
+        if value is MISSING:
+            self.misses += 1
+        else:
+            self.hits += 1
+            self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> bool:
+        """Store ``key -> value``; True when an older entry was evicted."""
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            entries[key] = value
+            return False
+        entries[key] = value
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+            return True
+        return False
+
+    def clear(self) -> None:
+        """Drop all entries *and* the hit/miss/eviction tallies."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+
+def publish_lookup(label: str, op: str, hit: bool) -> None:
+    """Record one lookup outcome into the installed metrics registry."""
+    registry = current_registry()
+    if registry is None:
+        return
+    name = "cache_hits" if hit else "cache_misses"
+    registry.counter(name, cache=label, op=op).inc()
+
+
+def publish_store(label: str, op: str, evicted: bool, occupancy: int) -> None:
+    """Record one store (and its possible eviction) into the registry."""
+    registry = current_registry()
+    if registry is None:
+        return
+    if evicted:
+        registry.counter("cache_evictions", cache=label, op=op).inc()
+    registry.gauge("cache_occupancy", cache=label).set(occupancy)
+
+
+__all__ = ["LruCache", "MISSING", "publish_lookup", "publish_store"]

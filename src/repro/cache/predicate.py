@@ -1,0 +1,80 @@
+"""Memoized exact software decisions (plane sweep, minDist threshold).
+
+The expensive software fallbacks of the refinement stack are pure
+decisions over polygon content:
+
+* ``boundaries_intersect(a, b, restrict)`` - a boolean of (a, b, restrict);
+* ``min_boundary_distance(a, b, early_exit_at=d) <= d`` - a boolean of
+  (a, b, d); the early exit changes the *reported distance*, never which
+  side of ``d`` it falls on.
+
+This cache memoizes those booleans keyed by polygon digests plus the
+parameters.  The surrounding :class:`~repro.core.stats.RefinementStats`
+bookkeeping (``sw_segment_tests``, ``sw_distance_tests``, ...) counts
+*decisions requested*, which a cache hit still is - so cached and uncached
+runs report identical RefinementStats.  What shrinks on a hit is the
+sweep/minDist *work* counters (``SweepStats``/``MinDistStats``), which
+count internal steps of computations that no longer run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Tuple
+
+from .lru import MISSING, LruCache, publish_lookup, publish_store
+
+LABEL = "predicate"
+
+
+class PredicateCache:
+    """A bounded LRU of exact predicate outcomes.
+
+    ``memo(op, key, compute)`` returns the cached value for
+    ``(op,) + key``, calling ``compute()`` (and storing its result) only on
+    a miss.
+    """
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int) -> None:
+        self._lru = LruCache(capacity)
+
+    def memo(
+        self,
+        op: str,
+        key: Tuple[Hashable, ...],
+        compute: Callable[[], Any],
+    ) -> Any:
+        full_key = (op,) + key
+        value = self._lru.get(full_key)
+        if value is not MISSING:
+            publish_lookup(LABEL, op, hit=True)
+            return value
+        publish_lookup(LABEL, op, hit=False)
+        value = compute()
+        evicted = self._lru.put(full_key, value)
+        publish_store(LABEL, op, evicted, len(self._lru))
+        return value
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+__all__ = ["PredicateCache", "LABEL"]

@@ -1,0 +1,76 @@
+"""Memoized per-polygon edge coverage masks.
+
+Algorithm 3.1 steps 2.3-2.4 render the *query* polygon's boundary once per
+candidate pair, even though a selection holds the query and - for
+within-distance selections, whose Figure 7b window depends only on the
+smaller (query) object - the projection window fixed across every
+candidate.  The transform/clip/rasterize product of one boundary under one
+projection is a pure function of (boundary, window, line width, end caps,
+viewport), so it can be rendered once and composited from cache thereafter.
+
+The cached value is the conservative anti-aliased coverage mask the
+rasterizer produces (:func:`~repro.gpu.raster_bulk.edges_coverage_mask`),
+stored read-only.  Per-fragment operations (accumulation, blending, logic,
+depth, stencil) are *not* cached - they depend on mutable buffer state -
+so a cache hit replays the exact fragments through the live fragment
+pipeline and the framebuffer ends bit-identical to a full render.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+from .lru import MISSING, LruCache, publish_lookup, publish_store
+
+LABEL = "render"
+#: The one operation this cache serves (mask construction for edge draws).
+OP = "edges"
+
+
+class RenderCache:
+    """A bounded LRU of boundary coverage masks keyed by render identity."""
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int) -> None:
+        self._lru = LruCache(capacity)
+
+    def lookup(self, key: Tuple[Hashable, ...]) -> Optional[np.ndarray]:
+        """The cached mask, or None on a miss."""
+        value = self._lru.get(key)
+        if value is MISSING:
+            publish_lookup(LABEL, OP, hit=False)
+            return None
+        publish_lookup(LABEL, OP, hit=True)
+        return value
+
+    def store(self, key: Tuple[Hashable, ...], mask: np.ndarray) -> None:
+        mask = mask.copy()
+        mask.setflags(write=False)
+        evicted = self._lru.put(key, mask)
+        publish_store(LABEL, OP, evicted, len(self._lru))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+__all__ = ["RenderCache", "LABEL", "OP"]

@@ -1,0 +1,78 @@
+"""Memoized hardware-test verdicts.
+
+A hardware verdict is a pure function of (operation, overlap method, the
+two boundaries, the projection window, the query distance, the window
+resolution): the simulated pipeline is deterministic and shares no state
+across tests.  The cache therefore keys on exactly that tuple - polygon
+content digests and canonical window bytes
+(:mod:`repro.cache.keys`) - and replays the verdict without touching the
+pipeline, skipping the clears, draws, accumulation transfers, and Minmax
+scan of Algorithm 3.1 steps 2.2-2.8 entirely.
+
+Only DISJOINT/MAYBE verdicts are stored.  UNSUPPORTED is decided by a
+width-limit comparison *before* any rendering; re-deciding it costs no
+counted GPU work, and keeping it out of the cache keeps the
+``hw_line_width_overflow`` accounting on its single code path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Optional, Tuple
+
+from .keys import window_key
+from .lru import MISSING, LruCache, publish_lookup, publish_store
+
+LABEL = "verdict"
+
+
+class VerdictCache:
+    """A bounded LRU of hardware-test verdicts keyed by test identity."""
+
+    __slots__ = ("_lru",)
+
+    def __init__(self, capacity: int) -> None:
+        self._lru = LruCache(capacity)
+
+    @staticmethod
+    def key(
+        op: str, method: str, a, b, window, d: float, resolution: int
+    ) -> Tuple[Hashable, ...]:
+        """The full test identity; ``a``/``b`` are Polygon-likes with
+        ``digest``, ``window`` a Rect-like."""
+        return (op, method, a.digest, b.digest, window_key(window), float(d), resolution)
+
+    def lookup(self, op: str, key: Tuple[Hashable, ...]) -> Optional[Any]:
+        """The cached verdict, or None on a miss."""
+        value = self._lru.get(key)
+        if value is MISSING:
+            publish_lookup(LABEL, op, hit=False)
+            return None
+        publish_lookup(LABEL, op, hit=True)
+        return value
+
+    def store(self, op: str, key: Tuple[Hashable, ...], verdict: Any) -> None:
+        evicted = self._lru.put(key, verdict)
+        publish_store(LABEL, op, evicted, len(self._lru))
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self._lru.hits
+
+    @property
+    def misses(self) -> int:
+        return self._lru.misses
+
+    @property
+    def evictions(self) -> int:
+        return self._lru.evictions
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+
+__all__ = ["VerdictCache", "LABEL"]

@@ -28,13 +28,15 @@ from __future__ import annotations
 import time
 from typing import Any, List, Optional, Sequence, Tuple
 
+from ..cache import PredicateCache
 from ..geometry.distance import either_contains
-from ..geometry.min_dist import MinDistStats, min_boundary_distance
+from ..geometry.min_dist import MinDistStats
 from ..geometry.point_in_polygon import PointLocation, locate_point
 from ..geometry.polygon import Polygon
-from ..geometry.sweep import SweepStats, boundaries_intersect
+from ..geometry.sweep import SweepStats
+from .distance import _mindist_decision
 from .hardware_test import HardwareSegmentTest, HardwareVerdict, PairWindow
-from .intersection import _point_in_polygon_step
+from .intersection import _point_in_polygon_step, _sweep_decision
 from .projection import distance_window, intersection_window
 from .stats import RefinementStats
 
@@ -54,6 +56,7 @@ def refine_pairs_batched(
     sweep_stats: Optional[SweepStats] = None,
     mindist_stats: Optional[MinDistStats] = None,
     restrict_search_space: bool = True,
+    predicate_cache: Optional[PredicateCache] = None,
 ) -> List[Any]:
     """Refine ``items`` with batched hardware tests; return matching keys.
 
@@ -63,16 +66,19 @@ def refine_pairs_batched(
     """
     if op == "intersect":
         decisions = _batched_intersect(
-            hw, items, stats, sweep_stats, restrict_search_space
+            hw, items, stats, sweep_stats, restrict_search_space,
+            predicate_cache,
         )
     elif op == "within_distance":
         if distance is None:
             raise ValueError("op 'within_distance' requires a distance")
         decisions = _batched_within_distance(
-            hw, items, distance, stats, mindist_stats
+            hw, items, distance, stats, mindist_stats, predicate_cache
         )
     elif op == "contains":
-        decisions = _batched_contains(hw, items, stats, sweep_stats)
+        decisions = _batched_contains(
+            hw, items, stats, sweep_stats, predicate_cache
+        )
     else:
         raise ValueError(f"unknown op {op!r}; expected one of {BATCH_OPS}")
     return [item[0] for item, hit in zip(items, decisions) if hit]
@@ -104,6 +110,7 @@ def _batched_intersect(
     stats: Optional[RefinementStats],
     sweep_stats: Optional[SweepStats],
     restrict_search_space: bool,
+    predicate_cache: Optional[PredicateCache] = None,
 ) -> List[bool]:
     """Algorithm 3.1 over a batch (mirrors ``hybrid_polygons_intersect``)."""
     decisions = [False] * len(items)
@@ -150,7 +157,9 @@ def _batched_intersect(
         _, a, b = items[k]
         if stats is not None:
             stats.sw_segment_tests += 1
-        result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+        result = _sweep_decision(
+            a, b, restrict_search_space, sweep_stats, predicate_cache
+        )
         if stats is not None:
             if result:
                 stats.positives += 1
@@ -166,6 +175,7 @@ def _batched_within_distance(
     d: float,
     stats: Optional[RefinementStats],
     mindist_stats: Optional[MinDistStats],
+    predicate_cache: Optional[PredicateCache] = None,
 ) -> List[bool]:
     """Batched within-distance (mirrors ``hybrid_within_distance``)."""
     if d < 0.0:
@@ -223,10 +233,7 @@ def _batched_within_distance(
         _, a, b = items[k]
         if stats is not None:
             stats.sw_distance_tests += 1
-        result = (
-            min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats)
-            <= d
-        )
+        result = _mindist_decision(a, b, d, mindist_stats, predicate_cache)
         if stats is not None:
             if result:
                 stats.positives += 1
@@ -241,6 +248,7 @@ def _batched_contains(
     items: Sequence[BatchItem],
     stats: Optional[RefinementStats],
     sweep_stats: Optional[SweepStats],
+    predicate_cache: Optional[PredicateCache] = None,
 ) -> List[bool]:
     """Batched proper containment (mirrors ``hybrid_contains_properly``).
 
@@ -295,7 +303,7 @@ def _batched_contains(
         _, a, b = items[k]
         if stats is not None:
             stats.sw_segment_tests += 1
-        result = not boundaries_intersect(a, b, True, sweep_stats)
+        result = not _sweep_decision(a, b, True, sweep_stats, predicate_cache)
         if stats is not None and result:
             stats.positives += 1
             if k in hw_maybe:

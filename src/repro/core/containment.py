@@ -26,10 +26,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cache import PredicateCache
 from ..geometry.point_in_polygon import PointLocation, locate_point
 from ..geometry.polygon import Polygon
-from ..geometry.sweep import SweepStats, boundaries_intersect
+from ..geometry.sweep import SweepStats
 from .hardware_test import HardwareSegmentTest, HardwareVerdict
+from .intersection import _sweep_decision
 from .projection import intersection_window
 from .stats import RefinementStats
 
@@ -39,6 +41,7 @@ def software_contains_properly(
     b: Polygon,
     stats: Optional[RefinementStats] = None,
     sweep_stats: Optional[SweepStats] = None,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """Software test: ``b`` strictly inside ``a`` (simple container ``a``)."""
     if stats is not None:
@@ -55,7 +58,7 @@ def software_contains_properly(
         return False
     if stats is not None:
         stats.sw_segment_tests += 1
-    result = not boundaries_intersect(a, b, True, sweep_stats)
+    result = not _sweep_decision(a, b, True, sweep_stats, cache)
     if result and stats is not None:
         stats.positives += 1
     return result
@@ -67,6 +70,7 @@ def hybrid_contains_properly(
     hw: HardwareSegmentTest,
     stats: Optional[RefinementStats] = None,
     sweep_stats: Optional[SweepStats] = None,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """Hardware-assisted containment: a DISJOINT verdict *confirms*.
 
@@ -105,7 +109,7 @@ def hybrid_contains_properly(
 
     if stats is not None:
         stats.sw_segment_tests += 1
-    result = not boundaries_intersect(a, b, True, sweep_stats)
+    result = not _sweep_decision(a, b, True, sweep_stats, cache)
     if stats is not None and result:
         stats.positives += 1
         if hw_maybe:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cache import PredicateCache
 from ..geometry.distance import either_contains
 from ..geometry.min_dist import MinDistStats, min_boundary_distance
 from ..geometry.polygon import Polygon
@@ -25,12 +26,42 @@ from .projection import distance_window
 from .stats import RefinementStats
 
 
+def _mindist_decision(
+    a: Polygon,
+    b: Polygon,
+    d: float,
+    mindist_stats: Optional[MinDistStats],
+    cache: Optional[PredicateCache] = None,
+) -> bool:
+    """``minDist(boundaries) <= d``, memoized by polygon content when asked.
+
+    The early exit at ``d`` changes the *reported* distance, never which
+    side of ``d`` it falls on, so the boolean is a pure function of
+    (a, b, d) and safe to memoize.  On a hit, ``mindist_stats`` receives
+    nothing - the frontier walk did not run.
+    """
+    if cache is None:
+        return (
+            min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats)
+            <= d
+        )
+    return cache.memo(
+        "mindist",
+        (a.digest, b.digest, float(d)),
+        lambda: min_boundary_distance(
+            a, b, early_exit_at=d, stats=mindist_stats
+        )
+        <= d,
+    )
+
+
 def software_within_distance(
     a: Polygon,
     b: Polygon,
     d: float,
     stats: Optional[RefinementStats] = None,
     mindist_stats: Optional[MinDistStats] = None,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """The pure-software reference predicate (paper section 4.1.1).
 
@@ -57,9 +88,7 @@ def software_within_distance(
         return True
     if stats is not None:
         stats.sw_distance_tests += 1
-    result = (
-        min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats) <= d
-    )
+    result = _mindist_decision(a, b, d, mindist_stats, cache)
     if result and stats is not None:
         stats.positives += 1
     return result
@@ -72,6 +101,7 @@ def hybrid_within_distance(
     hw: HardwareSegmentTest,
     stats: Optional[RefinementStats] = None,
     mindist_stats: Optional[MinDistStats] = None,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """The hardware-assisted within-distance test.
 
@@ -117,9 +147,7 @@ def hybrid_within_distance(
 
     if stats is not None:
         stats.sw_distance_tests += 1
-    result = (
-        min_boundary_distance(a, b, early_exit_at=d, stats=mindist_stats) <= d
-    )
+    result = _mindist_decision(a, b, d, mindist_stats, cache)
     if stats is not None:
         if result:
             stats.positives += 1

@@ -15,8 +15,10 @@ experiments can report work distribution alongside wall-clock time.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, List, Optional, Protocol, Sequence, Tuple
 
+from ..cache import CacheBundle, CacheConfig, default_cache_config
 from ..geometry.min_dist import MinDistStats
 from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats
@@ -58,12 +60,21 @@ class SoftwareEngine:
     #: nothing from batching, so pipelines keep their per-pair loop.
     supports_batch = False
 
-    def __init__(self, restrict_search_space: bool = True) -> None:
+    def __init__(
+        self,
+        restrict_search_space: bool = True,
+        cache: Optional[CacheConfig] = None,
+    ) -> None:
         self.name = "software"
         self.restrict_search_space = restrict_search_space
         self.stats = RefinementStats()
         self.sweep_stats = SweepStats()
         self.mindist_stats = MinDistStats()
+        #: Resolved once at construction (``None`` reads the process
+        #: default), so sharded workers rebuilt from a pickled spec can
+        #: never disagree with their coordinator.
+        self.cache_config = cache if cache is not None else default_cache_config()
+        self.caches = CacheBundle(self.cache_config)
 
     def polygons_intersect(self, a: Polygon, b: Polygon) -> bool:
         return software_polygons_intersect(
@@ -72,22 +83,36 @@ class SoftwareEngine:
             stats=self.stats,
             sweep_stats=self.sweep_stats,
             restrict_search_space=self.restrict_search_space,
+            cache=self.caches.predicate,
         )
 
     def within_distance(self, a: Polygon, b: Polygon, d: float) -> bool:
         return software_within_distance(
-            a, b, d, stats=self.stats, mindist_stats=self.mindist_stats
+            a,
+            b,
+            d,
+            stats=self.stats,
+            mindist_stats=self.mindist_stats,
+            cache=self.caches.predicate,
         )
 
     def contains_properly(self, a: Polygon, b: Polygon) -> bool:
         return software_contains_properly(
-            a, b, stats=self.stats, sweep_stats=self.sweep_stats
+            a,
+            b,
+            stats=self.stats,
+            sweep_stats=self.sweep_stats,
+            cache=self.caches.predicate,
         )
 
     def reset_stats(self) -> None:
         self.stats.reset()
         self.sweep_stats = SweepStats()
         self.mindist_stats = MinDistStats()
+
+    def reset_caches(self) -> None:
+        """Drop all memoized entries and tallies (configuration kept)."""
+        self.caches.reset()
 
 
 class HardwareEngine:
@@ -99,9 +124,16 @@ class HardwareEngine:
     supports_batch = True
 
     def __init__(self, config: Optional[HardwareConfig] = None) -> None:
-        self.config = config if config is not None else HardwareConfig()
+        config = config if config is not None else HardwareConfig()
+        if config.cache is None:
+            # Pin the process default into the config so the engine (and any
+            # worker rebuilt from its pickled config) has one resolved cache
+            # behavior for its whole lifetime.
+            config = replace(config, cache=default_cache_config())
+        self.config = config
         self.name = f"hardware[{self.config.resolution}x{self.config.resolution}]"
         self.hw = HardwareSegmentTest(self.config)
+        self.caches = self.hw.caches
         self.stats = RefinementStats()
         self.sweep_stats = SweepStats()
         self.mindist_stats = MinDistStats()
@@ -113,17 +145,33 @@ class HardwareEngine:
 
     def polygons_intersect(self, a: Polygon, b: Polygon) -> bool:
         return hybrid_polygons_intersect(
-            a, b, self.hw, stats=self.stats, sweep_stats=self.sweep_stats
+            a,
+            b,
+            self.hw,
+            stats=self.stats,
+            sweep_stats=self.sweep_stats,
+            cache=self.caches.predicate,
         )
 
     def within_distance(self, a: Polygon, b: Polygon, d: float) -> bool:
         return hybrid_within_distance(
-            a, b, d, self.hw, stats=self.stats, mindist_stats=self.mindist_stats
+            a,
+            b,
+            d,
+            self.hw,
+            stats=self.stats,
+            mindist_stats=self.mindist_stats,
+            cache=self.caches.predicate,
         )
 
     def contains_properly(self, a: Polygon, b: Polygon) -> bool:
         return hybrid_contains_properly(
-            a, b, self.hw, stats=self.stats, sweep_stats=self.sweep_stats
+            a,
+            b,
+            self.hw,
+            stats=self.stats,
+            sweep_stats=self.sweep_stats,
+            cache=self.caches.predicate,
         )
 
     def refine_batch(
@@ -150,6 +198,7 @@ class HardwareEngine:
             stats=self.stats,
             sweep_stats=self.sweep_stats,
             mindist_stats=self.mindist_stats,
+            predicate_cache=self.caches.predicate,
         )
 
     def reset_stats(self) -> None:
@@ -157,6 +206,10 @@ class HardwareEngine:
         self.sweep_stats = SweepStats()
         self.mindist_stats = MinDistStats()
         self.gpu_counters.reset()
+
+    def reset_caches(self) -> None:
+        """Drop all memoized entries and tallies (configuration kept)."""
+        self.caches.reset()
 
 
 def make_engine(

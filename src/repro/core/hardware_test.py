@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache import CacheBundle
 from ..geometry.polygon import Polygon
 from ..geometry.rect import Rect
 from ..gpu.pipeline import GraphicsPipeline, uniform_window_scale
@@ -79,6 +80,13 @@ class HardwareSegmentTest:
         st.blend = False
         st.color = EDGE_COLOR
         self._tiled: Optional[TiledPipeline] = None
+        #: Memoization layers (:mod:`repro.cache`), resolved once here so a
+        #: tester's behavior is pinned at construction.  The verdict cache
+        #: short-circuits whole tests; the render cache (installed on the
+        #: pipeline) reuses per-boundary coverage masks inside a test.
+        self.caches = CacheBundle(self.config.resolved_cache())
+        self.verdict_cache = self.caches.verdict
+        self.pipeline.render_cache = self.caches.render
 
     @property
     def tiled(self) -> TiledPipeline:
@@ -133,26 +141,44 @@ class HardwareSegmentTest:
         """Hardware segment intersection test over ``window`` (Figure 7a).
 
         Never returns UNSUPPORTED: the default sqrt(2) line width is always
-        within device limits.
+        within device limits.  With the verdict cache enabled, a repeated
+        (pair, window) test replays its memoized verdict without rendering;
+        the ``hw_verdicts`` / ``hw_test_edges`` accounting still runs per
+        test (only the per-render duration histogram is skipped, as for
+        batched pairs), so cached and uncached runs report identical
+        per-pair totals.
         """
         registry = current_registry()
-        if registry is None:
-            return self._render_and_search(
-                a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
+        cache = self.verdict_cache
+        key = None
+        if cache is not None:
+            key = cache.key(
+                "intersect", self.config.method, a, b, window, 0.0,
+                self.config.resolution,
             )
-        start = time.perf_counter()
+            verdict = cache.lookup("intersect", key)
+            if verdict is not None:
+                if registry is not None:
+                    self._observe_test(
+                        registry, "intersect", self.config.method, verdict, a, b
+                    )
+                return verdict
+        start = time.perf_counter() if registry is not None else 0.0
         verdict = self._render_and_search(
             a, b, window, line_width_px=DEFAULT_AA_LINE_WIDTH, cap_points=False
         )
-        self._observe_test(
-            registry,
-            "intersect",
-            self.config.method,
-            verdict,
-            a,
-            b,
-            time.perf_counter() - start,
-        )
+        if registry is not None:
+            self._observe_test(
+                registry,
+                "intersect",
+                self.config.method,
+                verdict,
+                a,
+                b,
+                time.perf_counter() - start,
+            )
+        if key is not None:
+            cache.store("intersect", key, verdict)
         return verdict
 
     def distance_verdict(
@@ -199,23 +225,40 @@ class HardwareSegmentTest:
                     b,
                 )
             return HardwareVerdict.UNSUPPORTED
-        if registry is None:
-            return self._render_and_search(
-                a, b, window, line_width_px=width_px, cap_points=True
+        # Only supported tests reach the cache: UNSUPPORTED is decided by
+        # the width comparison above with no rendering to save, and caching
+        # it would fork the ``hw_line_width_overflow`` accounting.
+        cache = self.verdict_cache
+        key = None
+        if cache is not None:
+            key = cache.key(
+                "within_distance", self.config.method, a, b, window, d,
+                self.config.resolution,
             )
-        start = time.perf_counter()
+            verdict = cache.lookup("within_distance", key)
+            if verdict is not None:
+                if registry is not None:
+                    self._observe_test(
+                        registry, "within_distance", self.config.method,
+                        verdict, a, b,
+                    )
+                return verdict
+        start = time.perf_counter() if registry is not None else 0.0
         verdict = self._render_and_search(
             a, b, window, line_width_px=width_px, cap_points=True
         )
-        self._observe_test(
-            registry,
-            "within_distance",
-            self.config.method,
-            verdict,
-            a,
-            b,
-            time.perf_counter() - start,
-        )
+        if registry is not None:
+            self._observe_test(
+                registry,
+                "within_distance",
+                self.config.method,
+                verdict,
+                a,
+                b,
+                time.perf_counter() - start,
+            )
+        if key is not None:
+            cache.store("within_distance", key, verdict)
         return verdict
 
     def intersection_verdicts_batch(
@@ -231,24 +274,63 @@ class HardwareSegmentTest:
         configured overlap method - all of section 3's implementations
         reduce to "some pixel covered by both boundaries", which is what
         the per-tile Minmax detects.  Never returns UNSUPPORTED.
+
+        With the verdict cache enabled, previously-decided pairs replay
+        their verdicts, and duplicate keys *within* the batch render once
+        (the later occurrences become followers of the first); only the
+        remaining misses reach the atlas.  Per-pair accounting is
+        unchanged, so the verdict list and RefinementStats stay
+        bit-identical to the cache-off run.
         """
         pairs = list(pairs)
         if not pairs:
             return []
         registry = current_registry()
         start = time.perf_counter() if registry is not None else 0.0
-        flags = self.tiled.overlap_flags(
-            [a.edges_array for a, _, _ in pairs],
-            [b.edges_array for _, b, _ in pairs],
-            [w for _, _, w in pairs],
-            widths_px=DEFAULT_AA_LINE_WIDTH,
-            cap_points=False,
-            threshold=OVERLAP_THRESHOLD,
-        )
-        verdicts = [
-            HardwareVerdict.MAYBE if f else HardwareVerdict.DISJOINT
-            for f in flags
-        ]
+        cache = self.verdict_cache
+        verdicts: List[Optional[HardwareVerdict]] = [None] * len(pairs)
+        if cache is not None:
+            keys: List[object] = [None] * len(pairs)
+            render_idx: List[int] = []
+            leader_of: dict = {}
+            followers: dict = {}
+            for k, (a, b, window) in enumerate(pairs):
+                key = cache.key(
+                    "intersect", self.config.method, a, b, window, 0.0,
+                    self.config.resolution,
+                )
+                keys[k] = key
+                verdict = cache.lookup("intersect", key)
+                if verdict is not None:
+                    verdicts[k] = verdict
+                    continue
+                leader = leader_of.get(key)
+                if leader is None:
+                    leader_of[key] = k
+                    render_idx.append(k)
+                else:
+                    followers.setdefault(leader, []).append(k)
+        else:
+            render_idx = list(range(len(pairs)))
+        if render_idx:
+            flags = self.tiled.overlap_flags(
+                [pairs[k][0].edges_array for k in render_idx],
+                [pairs[k][1].edges_array for k in render_idx],
+                [pairs[k][2] for k in render_idx],
+                widths_px=DEFAULT_AA_LINE_WIDTH,
+                cap_points=False,
+                threshold=OVERLAP_THRESHOLD,
+            )
+            for k, f in zip(render_idx, flags):
+                verdict = (
+                    HardwareVerdict.MAYBE if f else HardwareVerdict.DISJOINT
+                )
+                verdicts[k] = verdict
+                if cache is not None:
+                    cache.store("intersect", keys[k], verdict)
+                    for j in followers.get(k, ()):
+                        verdicts[j] = verdict
+        assert all(v is not None for v in verdicts)
         if registry is not None:
             registry.histogram("hw_batch_duration_s", op="intersect").observe(
                 time.perf_counter() - start
@@ -257,7 +339,7 @@ class HardwareSegmentTest:
                 self._observe_test(
                     registry, "intersect", self.config.method, verdict, a, b
                 )
-        return verdicts
+        return verdicts  # type: ignore[return-value]
 
     def distance_verdicts_batch(
         self, pairs: Sequence[PairWindow], d: float
@@ -270,7 +352,9 @@ class HardwareSegmentTest:
         widths and end-point caps.  Verdicts are bit-identical to
         per-pair :meth:`distance_verdict` calls.  ``"field"`` mode has no
         widened lines to batch and runs the distance-insensitive test per
-        pair.
+        pair.  With the verdict cache enabled, supported pairs replay
+        cached verdicts and within-batch duplicates render once, exactly
+        as in :meth:`intersection_verdicts_batch`.
         """
         if d < 0.0:
             raise ValueError("distance must be non-negative")
@@ -286,18 +370,25 @@ class HardwareSegmentTest:
             ]
         registry = current_registry()
         start = time.perf_counter() if registry is not None else 0.0
+        cache = self.verdict_cache
         verdicts: List[Optional[HardwareVerdict]] = [None] * len(pairs)
-        eligible: List[int] = []
+        keys: List[object] = [None] * len(pairs)
+        render_idx: List[int] = []
         widths: List[float] = []
+        leader_of: dict = {}
+        followers: dict = {}
         limits = self.config.limits
         vw, vh = self.pipeline.width, self.pipeline.height
-        for k, (_, _, window) in enumerate(pairs):
+        for k, (a, b, window) in enumerate(pairs):
             scale = uniform_window_scale(vw, vh, window)
             width_px = float(max(1, math.ceil(d * scale)))
             if not (
                 limits.supports_line_width(width_px)
                 and limits.supports_point_size(width_px)
             ):
+                # Decided by the width comparison alone - never cached, as
+                # in distance_verdict, so hw_line_width_overflow stays on
+                # one path.
                 verdicts[k] = HardwareVerdict.UNSUPPORTED
                 if registry is not None:
                     registry.counter(
@@ -305,22 +396,45 @@ class HardwareSegmentTest:
                         op="within_distance",
                         method=self.config.method,
                     ).inc()
-            else:
-                eligible.append(k)
-                widths.append(width_px)
-        if eligible:
+                continue
+            if cache is not None:
+                key = cache.key(
+                    "within_distance", self.config.method, a, b, window, d,
+                    self.config.resolution,
+                )
+                keys[k] = key
+                verdict = cache.lookup("within_distance", key)
+                if verdict is not None:
+                    verdicts[k] = verdict
+                    continue
+                leader = leader_of.get(key)
+                if leader is not None:
+                    # Duplicate key within the batch: the width is a pure
+                    # function of (window, d), so sharing the leader's
+                    # verdict is exact.
+                    followers.setdefault(leader, []).append(k)
+                    continue
+                leader_of[key] = k
+            render_idx.append(k)
+            widths.append(width_px)
+        if render_idx:
             flags = self.tiled.overlap_flags(
-                [pairs[k][0].edges_array for k in eligible],
-                [pairs[k][1].edges_array for k in eligible],
-                [pairs[k][2] for k in eligible],
+                [pairs[k][0].edges_array for k in render_idx],
+                [pairs[k][1].edges_array for k in render_idx],
+                [pairs[k][2] for k in render_idx],
                 widths_px=np.asarray(widths, dtype=np.float64),
                 cap_points=True,
                 threshold=OVERLAP_THRESHOLD,
             )
-            for k, f in zip(eligible, flags):
-                verdicts[k] = (
+            for k, f in zip(render_idx, flags):
+                verdict = (
                     HardwareVerdict.MAYBE if f else HardwareVerdict.DISJOINT
                 )
+                verdicts[k] = verdict
+                if cache is not None:
+                    cache.store("within_distance", keys[k], verdict)
+                    for j in followers.get(k, ()):
+                        verdicts[j] = verdict
         assert all(v is not None for v in verdicts)
         if registry is not None:
             registry.histogram(
@@ -347,19 +461,34 @@ class HardwareSegmentTest:
         if d < 0.0:
             raise ValueError("distance must be non-negative")
         registry = current_registry()
-        if registry is None:
-            return self._distance_field_impl(a, b, window, d)
-        start = time.perf_counter()
+        cache = self.verdict_cache
+        key = None
+        if cache is not None:
+            key = cache.key(
+                "within_distance", "field", a, b, window, d,
+                self.config.resolution,
+            )
+            verdict = cache.lookup("within_distance", key)
+            if verdict is not None:
+                if registry is not None:
+                    self._observe_test(
+                        registry, "within_distance", "field", verdict, a, b
+                    )
+                return verdict
+        start = time.perf_counter() if registry is not None else 0.0
         verdict = self._distance_field_impl(a, b, window, d)
-        self._observe_test(
-            registry,
-            "within_distance",
-            "field",
-            verdict,
-            a,
-            b,
-            time.perf_counter() - start,
-        )
+        if registry is not None:
+            self._observe_test(
+                registry,
+                "within_distance",
+                "field",
+                verdict,
+                a,
+                b,
+                time.perf_counter() - start,
+            )
+        if key is not None:
+            cache.store("within_distance", key, verdict)
         return verdict
 
     def _distance_field_impl(
@@ -374,10 +503,10 @@ class HardwareSegmentTest:
         st.point_size = DEFAULT_AA_LINE_WIDTH
         st.cap_points = False
         st.reset_fragment_ops()
-        mask_a = pl.render_coverage_mask(a.edges_array)
+        mask_a = pl.render_coverage_mask(a.edges_array, key=a.digest)
         if not mask_a.any():
             return HardwareVerdict.DISJOINT
-        mask_b = pl.render_coverage_mask(b.edges_array)
+        mask_b = pl.render_coverage_mask(b.edges_array, key=b.digest)
         if not mask_b.any():
             return HardwareVerdict.DISJOINT
         field = pl.compute_distance_field(mask_a)
@@ -432,10 +561,10 @@ class HardwareSegmentTest:
         pl.state.color = EDGE_COLOR
         pl.clear_color()  # step 2.2
         pl.clear_accum()
-        pl.draw_edges_array(a.edges_array)  # step 2.3
+        pl.draw_edges_array(a.edges_array, key=a.digest)  # step 2.3
         pl.accum_add()  # step 2.4
         pl.clear_color()
-        pl.draw_edges_array(b.edges_array)  # step 2.5
+        pl.draw_edges_array(b.edges_array, key=b.digest)  # step 2.5
         pl.accum_add()  # step 2.6
         pl.accum_return()  # step 2.7
         _, max_value = pl.minmax("color")  # step 2.8 via hardware Minmax
@@ -449,8 +578,8 @@ class HardwareSegmentTest:
         st.color = EDGE_COLOR
         st.blend = True
         pl.clear_color()
-        pl.draw_edges_array(a.edges_array)
-        pl.draw_edges_array(b.edges_array)
+        pl.draw_edges_array(a.edges_array, key=a.digest)
+        pl.draw_edges_array(b.edges_array, key=b.digest)
         _, max_value = pl.minmax("color")
         return max_value >= OVERLAP_THRESHOLD
 
@@ -462,9 +591,9 @@ class HardwareSegmentTest:
         st.logic_op = "or"
         pl.clear_color()
         st.color = 1.0
-        pl.draw_edges_array(a.edges_array)
+        pl.draw_edges_array(a.edges_array, key=a.digest)
         st.color = 2.0
-        pl.draw_edges_array(b.edges_array)
+        pl.draw_edges_array(b.edges_array, key=b.digest)
         _, max_value = pl.minmax("color")
         return max_value >= 3.0
 
@@ -479,12 +608,12 @@ class HardwareSegmentTest:
         st.color_write = False
         st.depth_write = True
         st.depth_value = 0.5
-        pl.draw_edges_array(a.edges_array)
+        pl.draw_edges_array(a.edges_array, key=a.digest)
         st.color_write = True
         st.depth_write = False
         st.depth_test = "equal"
         st.color = 1.0
-        pl.draw_edges_array(b.edges_array)
+        pl.draw_edges_array(b.edges_array, key=b.digest)
         _, max_value = pl.minmax("color")
         return max_value >= 1.0
 
@@ -496,8 +625,8 @@ class HardwareSegmentTest:
         pl.clear_stencil(0)
         st.color_write = False
         st.stencil_op = "incr"
-        pl.draw_edges_array(a.edges_array)
-        pl.draw_edges_array(b.edges_array)
+        pl.draw_edges_array(a.edges_array, key=a.digest)
+        pl.draw_edges_array(b.edges_array, key=b.digest)
         _, max_value = pl.minmax("stencil")
         return max_value >= 2.0
 

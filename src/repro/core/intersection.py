@@ -21,12 +21,39 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ..cache import PredicateCache
 from ..geometry.point_in_polygon import PointLocation, locate_point
 from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats, boundaries_intersect
 from .hardware_test import HardwareSegmentTest, HardwareVerdict
 from .projection import intersection_window
 from .stats import RefinementStats
+
+
+def _sweep_decision(
+    a: Polygon,
+    b: Polygon,
+    restrict: bool,
+    sweep_stats: Optional[SweepStats],
+    cache: Optional[PredicateCache] = None,
+) -> bool:
+    """The plane-sweep boolean, memoized by polygon content when asked.
+
+    ``boundaries_intersect`` is a pure function of (a, b, restrict) - the
+    ``restrict`` flag changes work, never the answer, but it is part of the
+    key anyway so the cache never equates differently-configured runs.
+    On a hit the sweep does not run, so ``sweep_stats`` receives nothing;
+    the caller's RefinementStats bookkeeping (a *decision* count) is
+    untouched either way.  Shared by the intersection and containment
+    predicates, which ask the identical question.
+    """
+    if cache is None:
+        return boundaries_intersect(a, b, restrict, sweep_stats)
+    return cache.memo(
+        "sweep",
+        (a.digest, b.digest, bool(restrict)),
+        lambda: boundaries_intersect(a, b, restrict, sweep_stats),
+    )
 
 
 def _point_in_polygon_step(
@@ -60,6 +87,7 @@ def software_polygons_intersect(
     stats: Optional[RefinementStats] = None,
     sweep_stats: Optional[SweepStats] = None,
     restrict_search_space: bool = True,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """The pure-software reference test (PIP + restricted plane sweep)."""
     if stats is not None:
@@ -75,7 +103,7 @@ def software_polygons_intersect(
         return True
     if stats is not None:
         stats.sw_segment_tests += 1
-    result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+    result = _sweep_decision(a, b, restrict_search_space, sweep_stats, cache)
     if result and stats is not None:
         stats.positives += 1
     return result
@@ -88,6 +116,7 @@ def hybrid_polygons_intersect(
     stats: Optional[RefinementStats] = None,
     sweep_stats: Optional[SweepStats] = None,
     restrict_search_space: bool = True,
+    cache: Optional[PredicateCache] = None,
 ) -> bool:
     """Algorithm 3.1: PIP, hardware filter, then software sweep.
 
@@ -126,7 +155,7 @@ def hybrid_polygons_intersect(
     # Step 3: software segment intersection test.
     if stats is not None:
         stats.sw_segment_tests += 1
-    result = boundaries_intersect(a, b, restrict_search_space, sweep_stats)
+    result = _sweep_decision(a, b, restrict_search_space, sweep_stats, cache)
     if stats is not None:
         if result:
             stats.positives += 1

@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cache import CacheConfig
 from ..core.config import HardwareConfig
 from ..core.engine import HardwareEngine, RefinementEngine, SoftwareEngine
 from ..core.stats import RefinementStats
@@ -74,11 +75,19 @@ WorkItem = Tuple[Any, Polygon, Polygon]
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """A picklable recipe for rebuilding an engine inside a worker."""
+    """A picklable recipe for rebuilding an engine inside a worker.
+
+    Always carries the *resolved* cache configuration (the hardware
+    engine pins it into its :class:`HardwareConfig` at construction; the
+    software engine's resolved config rides in :attr:`cache`), so a worker
+    never consults its own process default - coordinator and workers
+    cannot disagree about memoization.
+    """
 
     kind: str  # "software" | "hardware"
     restrict_search_space: bool = True
     config: Optional[HardwareConfig] = None
+    cache: Optional[CacheConfig] = None
 
     @classmethod
     def for_engine(cls, engine: RefinementEngine) -> "EngineSpec":
@@ -86,6 +95,7 @@ class EngineSpec:
             return cls(
                 kind="software",
                 restrict_search_space=engine.restrict_search_space,
+                cache=engine.cache_config,
             )
         if isinstance(engine, HardwareEngine):
             return cls(kind="hardware", config=engine.config)
@@ -97,7 +107,8 @@ class EngineSpec:
     def build(self) -> RefinementEngine:
         if self.kind == "software":
             return SoftwareEngine(
-                restrict_search_space=self.restrict_search_space
+                restrict_search_space=self.restrict_search_space,
+                cache=self.cache,
             )
         if self.kind == "hardware":
             return HardwareEngine(self.config)
@@ -180,6 +191,10 @@ def _refine_shard(
     engine = _WORKER_ENGINE
     assert engine is not None, "worker engine missing (pool not initialized)"
     engine.reset_stats()
+    # Caches reset per task, like stats: each shard starts cold, so merged
+    # hit/miss tallies (and every downstream number) depend only on shard
+    # boundaries, never on which worker process a task happened to land on.
+    engine.reset_caches()
     # A fresh shard-local registry per task (not per worker) so every
     # snapshot contains exactly one shard's observations - the coordinator
     # merges them and the totals cannot depend on task->worker assignment.

@@ -49,7 +49,6 @@ def largest_true_rectangle(
         stack: List[int] = []  # indices with increasing heights
         for c in range(cols + 1):
             h = int(heights[c]) if c < cols else 0
-            start = c
             while stack and int(heights[stack[-1]]) >= h:
                 idx = stack.pop()
                 height = int(heights[idx])
@@ -59,7 +58,6 @@ def largest_true_rectangle(
                 if area > best_area:
                     best_area = area
                     best = (r - height + 1, left, r, c - 1)
-                start = left
             stack.append(c)
     return best
 

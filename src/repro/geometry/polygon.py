@@ -9,6 +9,7 @@ predicates that require simplicity say so explicitly, and
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
@@ -27,7 +28,14 @@ class Polygon:
     reorientation) to stay faithful to how GIS sources deliver geometry.
     """
 
-    __slots__ = ("_vertices", "_mbr", "_signed_area", "_coords_array", "_edges_array")
+    __slots__ = (
+        "_vertices",
+        "_mbr",
+        "_signed_area",
+        "_coords_array",
+        "_edges_array",
+        "_digest",
+    )
 
     def __init__(self, vertices: Sequence[Point]) -> None:
         if len(vertices) < 3:
@@ -39,6 +47,7 @@ class Polygon:
         object.__setattr__(self, "_signed_area", None)
         object.__setattr__(self, "_coords_array", None)
         object.__setattr__(self, "_edges_array", None)
+        object.__setattr__(self, "_digest", None)
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Polygon is immutable")
@@ -132,6 +141,21 @@ class Polygon:
             arr.setflags(write=False)
             object.__setattr__(self, "_edges_array", arr)
         return self._edges_array
+
+    @property
+    def digest(self) -> bytes:
+        """SHA-256 over the vertex coordinate bytes (computed once, cached).
+
+        A *content* identity: two polygon objects with bit-identical vertex
+        sequences share a digest, however they were constructed.  The cache
+        layer (:mod:`repro.cache`) keys on it, which is what lets memoized
+        verdicts and renders apply across duplicate geometries, not just
+        across repeated references to one object.
+        """
+        if self._digest is None:
+            digest = hashlib.sha256(self.coords_array.tobytes()).digest()
+            object.__setattr__(self, "_digest", digest)
+        return self._digest
 
     # -- measures --------------------------------------------------------------
 

@@ -9,7 +9,7 @@ width) whose effects section 4.4 measures.  See DESIGN.md section 2 for why
 this substitution preserves the paper's correctness and cost-shape claims.
 """
 
-from .costmodel import CostCounters, GpuCostModel
+from .costmodel import DOCUMENTED_FREE, CostCounters, GpuCostModel
 from .distance_field import distance_field, min_center_distance, within_pixel_distance
 from .framebuffer import Framebuffer
 from .pipeline import GraphicsPipeline
@@ -38,6 +38,7 @@ from .state import (
 __all__ = [
     "CostCounters",
     "DEFAULT_AA_LINE_WIDTH",
+    "DOCUMENTED_FREE",
     "DeviceLimits",
     "EDGE_COLOR",
     "Framebuffer",

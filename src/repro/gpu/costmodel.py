@@ -57,6 +57,30 @@ class CostCounters:
         )
 
 
+#: Counters :meth:`GpuCostModel.evaluate` deliberately does *not* charge,
+#: with the reason each is free:
+#:
+#: * ``edges_clipped_away`` - clip rejection happens during the transform
+#:   already billed per draw call; rejected edges never reach per-edge setup;
+#: * ``buffer_clears`` - the per-operation overhead is negligible next to
+#:   the per-pixel fill, which ``pixels_cleared`` charges;
+#: * ``minmax_ops`` - likewise subsumed by ``pixels_scanned``;
+#: * ``readback_ops`` - likewise subsumed by ``pixels_transferred``;
+#: * ``tile_batches`` / ``tiles_packed`` - batching *shape* telemetry; the
+#:   work a batch performs is already counted by the primitive counters it
+#:   increments (draw calls, edges, pixels, scans).
+DOCUMENTED_FREE = frozenset(
+    {
+        "edges_clipped_away",
+        "buffer_clears",
+        "minmax_ops",
+        "readback_ops",
+        "tile_batches",
+        "tiles_packed",
+    }
+)
+
+
 @dataclass(frozen=True)
 class GpuCostModel:
     """Abstract per-operation costs (arbitrary units).
@@ -70,6 +94,9 @@ class GpuCostModel:
 
     cost_draw_call: float = 20.0
     cost_edge: float = 4.0
+    #: Per rendered point: vertex setup comparable to an edge's (the
+    #: widened end-point caps of the distance test are drawn as points).
+    cost_point: float = 4.0
     cost_pixel_write: float = 1.0
     cost_clear_pixel: float = 0.25
     cost_accum_op: float = 5.0
@@ -81,10 +108,17 @@ class GpuCostModel:
     cost_distance_field_pixel: float = 2.0
 
     def evaluate(self, counters: CostCounters) -> float:
-        """Total abstract cost of the counted operations."""
+        """Total abstract cost of the counted operations.
+
+        Every :class:`CostCounters` field is either charged here or listed
+        in :data:`DOCUMENTED_FREE` with the reason it carries no cost of
+        its own; a regression test enforces the partition so a new counter
+        cannot silently evaluate to zero.
+        """
         return (
             counters.draw_calls * self.cost_draw_call
             + counters.edges_rendered * self.cost_edge
+            + counters.points_rendered * self.cost_point
             + counters.pixels_written * self.cost_pixel_write
             + counters.pixels_cleared * self.cost_clear_pixel
             + counters.accum_ops * self.cost_accum_op

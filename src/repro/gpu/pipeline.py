@@ -26,6 +26,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..cache.keys import window_key
 from ..geometry.rect import Rect
 from ..obs.capture import current_recorder
 from .costmodel import CostCounters
@@ -88,6 +89,14 @@ class GraphicsPipeline:
         self.fb = Framebuffer(width, height)
         self.state = RasterState()
         self.counters = CostCounters()
+        #: Optional :class:`~repro.cache.render.RenderCache` of per-draw
+        #: conservative coverage masks.  ``None`` (the default) disables
+        #: memoization; installers (:class:`~repro.core.hardware_test.
+        #: HardwareSegmentTest`) set it from their resolved CacheConfig.
+        #: Only keyed draw calls consult it, and fragment operations always
+        #: replay live, so cached renders leave buffers and returned masks
+        #: bit-identical to uncached ones.
+        self.render_cache = None
         # Identity-ish projection until a window is set.
         self._window = Rect(0.0, 0.0, float(width), float(height))
         self._scale = 1.0
@@ -228,17 +237,53 @@ class GraphicsPipeline:
 
     # -- draw calls -----------------------------------------------------------
 
-    def render_coverage_mask(self, edges_data: np.ndarray) -> np.ndarray:
+    def _render_cache_key(self, key: object):
+        """The full memoization key for one keyed draw call.
+
+        The conservative coverage mask of a boundary is a pure function of
+        its edge content (``key``, the polygon digest), the projected
+        window, the widened line footprint, and the viewport - exactly
+        these components.  Fragment-op state (color, blend, logic, depth,
+        stencil) is deliberately absent: those stages replay live on every
+        draw, cached or not.
+        """
+        state = self.state
+        return (
+            key,
+            window_key(self._window),
+            float(state.line_width),
+            bool(state.cap_points),
+            self.height,
+            self.width,
+        )
+
+    def render_coverage_mask(
+        self, edges_data: np.ndarray, key: object = None
+    ) -> np.ndarray:
         """Render a boundary and return its conservative coverage mask.
 
         Used by the distance-field test: the draw call goes through the
         normal transform/clip/rasterize stages (and is counted as such),
         but the caller receives the fragment mask instead of a buffer
-        write.
+        write.  When ``key`` identifies the boundary's content and a
+        render cache is installed, a repeated (content, window, footprint)
+        render returns the memoized mask without transforming or
+        rasterizing.
         """
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
         state = self.state
+        cache = self.render_cache
+        cache_key = None
+        if cache is not None and key is not None:
+            cache_key = self._render_cache_key(key)
+            mask = cache.lookup(cache_key)
+            if mask is not None:
+                self.counters.pixels_written += int(np.count_nonzero(mask))
+                recorder = current_recorder()
+                if recorder is not None:
+                    recorder.on_coverage_mask(self, edges_data, mask)
+                return mask
         edges = (edges_data - self._offset4) * self._scale
         pad = max(state.line_width, state.point_size) + 1.0
         x_lo = np.minimum(edges[:, 0], edges[:, 2])
@@ -266,6 +311,8 @@ class GraphicsPipeline:
                 cap_points=state.cap_points,
             )
             self.counters.pixels_written += int(np.count_nonzero(mask))
+        if cache_key is not None:
+            cache.store(cache_key, mask)
         recorder = current_recorder()
         if recorder is not None:
             recorder.on_coverage_mask(self, edges_data, mask)
@@ -301,12 +348,20 @@ class GraphicsPipeline:
             ends = arr[1:]
         self.draw_edges_array(np.hstack([starts, ends]))
 
-    def draw_edges_array(self, edges_data: np.ndarray) -> None:
+    def draw_edges_array(self, edges_data: np.ndarray, key: object = None) -> None:
         """Render an ``(E, 4)`` array of data-space segments.
 
         The vectorized equivalent of :meth:`draw_polygon_edges` for callers
         that cache edge arrays (``Polygon.edges_array``); the transform is
         affine, so edges map to window space in two array operations.
+
+        When ``key`` identifies the segment content (the owning polygon's
+        digest) and a render cache is installed, a repeated anti-aliased
+        (content, window, footprint) draw replays its memoized coverage
+        mask: the transform/clip/rasterize stages are skipped, while the
+        per-fragment operations (depth, stencil, blend, logic, color
+        write) run live against the current buffers, so the resulting
+        buffer contents are bit-identical to an uncached draw.
         """
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
@@ -314,6 +369,15 @@ class GraphicsPipeline:
         recorder = current_recorder()
         if recorder is not None:
             recorder.on_draw_edges(self, edges_data)
+
+        cache = self.render_cache
+        cache_key = None
+        if cache is not None and key is not None and state.antialias:
+            cache_key = self._render_cache_key(key)
+            mask = cache.lookup(cache_key)
+            if mask is not None:
+                self.counters.pixels_written += self._apply_fragment_ops(mask)
+                return
 
         # Transformation stage.
         edges = (edges_data - self._offset4) * self._scale  # (E, 4): x0 y0 x1 y1
@@ -335,6 +399,10 @@ class GraphicsPipeline:
         self.counters.edges_rendered += kept
         self.counters.edges_clipped_away += edges.shape[0] - kept
         if kept == 0:
+            if cache_key is not None:
+                cache.store(
+                    cache_key, np.zeros((self.height, self.width), dtype=bool)
+                )
             return
         if kept != edges.shape[0]:
             edges = edges[keep]
@@ -347,6 +415,8 @@ class GraphicsPipeline:
                 width_px=state.line_width,
                 cap_points=state.cap_points,
             )
+            if cache_key is not None:
+                cache.store(cache_key, mask)
             written = self._apply_fragment_ops(mask)
         else:
             written = 0

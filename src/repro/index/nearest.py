@@ -66,7 +66,12 @@ def rtree_nearest(
                 stats.exact_distance_calls += 1
             exact = distance_fn(item)
             results.append((exact, item))
-            results.sort()
+            # Sort on distance alone: tuple order would fall through to
+            # comparing object ids on distance ties, which raises TypeError
+            # for non-orderable ids (and imposed an id ordering the API
+            # never promised).  The stable sort keeps equal-distance ids in
+            # discovery order instead.
+            results.sort(key=lambda pair: pair[0])
             if len(results) > k:
                 results.pop()
             continue
@@ -93,5 +98,9 @@ def linear_nearest(
     """Brute-force reference: exact distance to every object."""
     if k < 1:
         raise ValueError("k must be >= 1")
-    scored = sorted((distance_fn(oid), oid) for oid in oids)
+    # Key on distance alone (see rtree_nearest): ids may not be orderable,
+    # and stable sort keeps equal-distance ids in input order.
+    scored = sorted(
+        ((distance_fn(oid), oid) for oid in oids), key=lambda pair: pair[0]
+    )
     return scored[:k]

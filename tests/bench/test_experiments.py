@@ -44,6 +44,7 @@ class TestRegistry:
             "ablation-projection",
             "exec-parallel",
             "batch-refine",
+            "cache",
         }
         assert set(ALL_EXPERIMENTS) == expected
 
@@ -145,3 +146,26 @@ class TestCli:
         out_file = tmp_path / "results.txt"
         assert main(["table2", "--scale", "tiny", "--out", str(out_file)]) == 0
         assert "LANDC" in out_file.read_text()
+
+    def test_run_many(self, capsys):
+        from repro.bench.__main__ import main
+
+        assert main(["table2", "ablation-minmax", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_mean" in out and "minmax" in out
+
+    def test_cache_flags_are_exclusive(self, capsys):
+        from repro.bench.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table2", "--cache", "--no-cache"])
+
+    def test_cache_flag_sets_and_restores_default(self, capsys):
+        from repro.cache import CacheConfig, default_cache_config
+        from repro.bench.__main__ import main
+
+        assert default_cache_config() == CacheConfig.disabled()
+        assert main(["ablation-minmax", "--scale", "tiny", "--cache"]) == 0
+        # Restored on exit so in-process callers (tests, notebooks) are
+        # never left with a silently different process default.
+        assert default_cache_config() == CacheConfig.disabled()

@@ -1,0 +1,257 @@
+"""Cache-on must be bit-identical to cache-off — the tentpole guarantee.
+
+Every cached value is a deterministic pure function of its key, so turning
+the caches on may change only *work executed* (GPU cost counters, sweep and
+minDist step counts, wall time), never an answer: matched keys,
+:class:`~repro.core.stats.RefinementStats`, and the derived explain funnels
+must come out identical in every execution mode.  These tests compare
+cache-on engines against fresh cache-off engines over the same inputs - per
+overlap method, for all three predicates, through the serial per-pair loop,
+the batched path, and the sharded parallel executor - and check that
+repeating work actually registers cache hits.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheConfig
+from repro.core import (
+    BATCH_OPS,
+    OVERLAP_METHODS,
+    HardwareConfig,
+    HardwareEngine,
+)
+from repro.datasets import (
+    GeneratorConfig,
+    SpatialDataset,
+    VertexCountModel,
+    generate_layer,
+)
+from repro.exec import ParallelExecutor
+from repro.geometry import Polygon, Rect
+from repro.obs.explain import funnels_from_snapshot
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.query import IntersectionSelection
+from tests.strategies import polygon_pairs_nearby
+
+DISTANCE = 1.5
+
+#: Crossing bars: MBRs overlap but neither contains the other's vertices,
+#: so the pair survives every short-circuit and reaches the hardware step.
+CROSS_H = Polygon.from_coords([(0, 4), (10, 4), (10, 6), (0, 6)])
+CROSS_V = Polygon.from_coords([(4, 0), (6, 0), (6, 10), (4, 10)])
+
+
+def pair_lists(min_size=1, max_size=10):
+    return st.lists(polygon_pairs_nearby(), min_size=min_size, max_size=max_size)
+
+
+def engine_pair(method="accum", resolution=8):
+    """A (cache-off, cache-on) pair of otherwise identical engines."""
+    off = HardwareEngine(
+        HardwareConfig(
+            resolution=resolution, method=method, cache=CacheConfig.disabled()
+        )
+    )
+    on = HardwareEngine(
+        HardwareConfig(resolution=resolution, method=method, cache=CacheConfig())
+    )
+    return off, on
+
+
+def serial_keys(engine, op, items, distance=DISTANCE):
+    if op == "intersect":
+        return [k for k, a, b in items if engine.polygons_intersect(a, b)]
+    if op == "within_distance":
+        return [k for k, a, b in items if engine.within_distance(a, b, distance)]
+    return [k for k, a, b in items if engine.contains_properly(a, b)]
+
+
+def duplicated_items(pairs, repeats=2):
+    """Work items that revisit every pair ``repeats`` times (cache fodder)."""
+    return [
+        ((r, k), a, b)
+        for r in range(repeats)
+        for k, (a, b) in enumerate(pairs)
+    ]
+
+
+class TestSerialEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(pair_lists(), st.sampled_from(OVERLAP_METHODS), st.sampled_from(BATCH_OPS))
+    def test_cache_on_matches_cache_off(self, pairs, method, op):
+        off, on = engine_pair(method)
+        items = duplicated_items(pairs)
+        expected = serial_keys(off, op, items)
+        got = serial_keys(on, op, items)
+        assert got == expected
+        assert on.stats == off.stats
+
+    def test_repeats_register_verdict_hits(self):
+        _, on = engine_pair()
+        assert on.polygons_intersect(CROSS_H, CROSS_V)
+        assert on.polygons_intersect(CROSS_H, CROSS_V)
+        assert on.caches.stats()["verdict"].hits >= 1
+
+    def test_render_cache_hits_when_verdicts_disabled(self):
+        # With verdict caching off the repeat re-runs the whole test, so
+        # the per-polygon coverage masks come from the render cache; the
+        # verdict must still match a cache-off engine exactly.
+        off, _ = engine_pair()
+        on = HardwareEngine(
+            HardwareConfig(
+                resolution=8,
+                cache=CacheConfig(verdicts=False, predicates=False),
+            )
+        )
+        for _ in range(2):
+            assert on.polygons_intersect(
+                CROSS_H, CROSS_V
+            ) == off.polygons_intersect(CROSS_H, CROSS_V)
+        assert on.caches.stats()["render"].hits >= 2
+        assert on.stats == off.stats
+
+    def test_distance_repeats_register_hits(self):
+        off, on = engine_pair()
+        far = Polygon.from_coords([(20, 0), (22, 0), (22, 2), (20, 2)])
+        for engine in (off, on):
+            assert engine.within_distance(CROSS_V, far, 16.0)
+            assert engine.within_distance(CROSS_V, far, 16.0)
+        assert on.stats == off.stats
+        assert on.caches.totals().hits > 0
+
+
+class TestBatchedEquivalence:
+    @settings(max_examples=15, deadline=None)
+    @given(pair_lists(), st.sampled_from(OVERLAP_METHODS), st.sampled_from(BATCH_OPS))
+    def test_cache_on_matches_cache_off(self, pairs, method, op):
+        off, on = engine_pair(method)
+        items = duplicated_items(pairs)
+        expected = off.refine_batch(op, items, distance=DISTANCE)
+        got = on.refine_batch(op, items, distance=DISTANCE)
+        assert got == expected
+        assert on.stats == off.stats
+
+    def test_within_batch_duplicates_share_one_render(self):
+        # Follower dedup: five copies of the same pair in one batch must
+        # reach the atlas as a single rendered tile pair.
+        off, on = engine_pair()
+        items = [((k,), CROSS_H, CROSS_V) for k in range(5)]
+        expected = off.refine_batch("intersect", items)
+        got = on.refine_batch("intersect", items)
+        assert got == expected
+        assert on.stats == off.stats
+        assert on.gpu_counters.edges_rendered < off.gpu_counters.edges_rendered
+
+    def test_batch_matches_serial_with_caching(self):
+        # The three paths must agree with each other, not just pairwise
+        # with their own cache-off twins.
+        _, on_serial = engine_pair()
+        _, on_batch = engine_pair()
+        items = duplicated_items([(CROSS_H, CROSS_V)], repeats=3)
+        expected = serial_keys(on_serial, "intersect", items)
+        got = on_batch.refine_batch("intersect", items)
+        assert got == expected
+        assert on_batch.stats == on_serial.stats
+
+
+@pytest.fixture(scope="module")
+def executors():
+    with ParallelExecutor(workers=2, min_inline_items=1) as ex_off:
+        with ParallelExecutor(workers=2, min_inline_items=1) as ex_on:
+            yield ex_off, ex_on
+
+
+class TestShardedEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        pair_lists(min_size=8, max_size=10),
+        st.sampled_from(OVERLAP_METHODS),
+        st.sampled_from(BATCH_OPS),
+    )
+    def test_cache_on_matches_cache_off(self, executors, pairs, method, op):
+        ex_off, ex_on = executors
+        off, on = engine_pair(method)
+        # >= 32 items so shard_count_for actually cuts multiple shards.
+        items = duplicated_items(pairs, repeats=4)
+        expected = ex_off.refine_pairs(off, op, items, distance=DISTANCE)
+        got = ex_on.refine_pairs(on, op, items, distance=DISTANCE)
+        assert got == expected
+        assert on.stats == off.stats
+
+    def test_sharded_matches_serial_answers(self, executors):
+        _, ex_on = executors
+        serial = HardwareEngine(HardwareConfig(cache=CacheConfig()))
+        sharded = HardwareEngine(HardwareConfig(cache=CacheConfig()))
+        ds_a, ds_b = _layers(count_a=8, count_b=8)
+        items = [
+            ((i, j), a, b)
+            for i, a in enumerate(ds_a.polygons)
+            for j, b in enumerate(ds_b.polygons)
+            if a.mbr.intersects(b.mbr)
+        ]
+        expected = serial_keys(serial, "intersect", items)
+        got = ex_on.refine_pairs(sharded, "intersect", items)
+        assert got == expected
+        assert sharded.stats == serial.stats
+
+
+def _layers(count_a=30, count_b=30):
+    world = Rect(0.0, 0.0, 50.0, 50.0)
+    shared = dict(
+        world=world,
+        vertex_model=VertexCountModel(vmin=4, vmax=32, mean=10.0),
+        coverage=1.3,
+        cluster_count=4,
+        cluster_spread=0.2,
+        roughness=0.3,
+    )
+    layer_a = generate_layer(GeneratorConfig(count=count_a, **shared), seed=61)
+    layer_b = generate_layer(GeneratorConfig(count=count_b, **shared), seed=62)
+    return (
+        SpatialDataset("A", layer_a, world=world),
+        SpatialDataset("B", layer_b, world=world),
+    )
+
+
+def _cache_hits(snapshot):
+    return sum(
+        value
+        for key, value in snapshot["counters"].items()
+        if key.startswith("cache_hits")
+    )
+
+
+class TestSelectionFunnels:
+    def test_repeated_query_identical_funnels_and_nonzero_hits(self):
+        ds, query_ds = _layers()
+        queries = query_ds.polygons[:3]
+        off, on = engine_pair(resolution=32)
+        registry_off = MetricsRegistry()
+        registry_on = MetricsRegistry()
+        sel_off = IntersectionSelection(ds, off, use_batch=True)
+        sel_on = IntersectionSelection(ds, on, use_batch=True)
+
+        with use_registry(registry_off):
+            ids_off = [sel_off.run(q).ids for q in queries for _ in (0, 1)]
+        with use_registry(registry_on):
+            first = [sel_on.run(q).ids for q in queries]
+            hits_before_repeat = _cache_hits(registry_on.snapshot())
+            repeat = [sel_on.run(q).ids for q in queries]
+
+        # Identical answers, pass for pass, and identical refinement stats.
+        assert first == ids_off[0::2]
+        assert repeat == ids_off[1::2]
+        assert first == repeat
+        assert on.stats == off.stats
+
+        # The derived explain funnels are bit-identical...
+        snapshot_off = registry_off.snapshot()
+        snapshot_on = registry_on.snapshot()
+        assert funnels_from_snapshot(snapshot_on) == funnels_from_snapshot(
+            snapshot_off
+        )
+        # ...and repeating the queries actually hit the caches.
+        assert _cache_hits(snapshot_on) > hits_before_repeat
+        assert _cache_hits(snapshot_off) == 0

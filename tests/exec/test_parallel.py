@@ -77,9 +77,25 @@ class TestEngineSpec:
 
     def test_hardware_round_trip(self):
         config = HardwareConfig(resolution=16, sw_threshold=12)
-        rebuilt = EngineSpec.for_engine(HardwareEngine(config)).build()
+        engine = HardwareEngine(config)
+        rebuilt = EngineSpec.for_engine(engine).build()
         assert isinstance(rebuilt, HardwareEngine)
-        assert rebuilt.config == config
+        # The engine pins the process-default cache config at construction
+        # (cache=None resolves to it), so the rebuilt worker engine matches
+        # the coordinator's *resolved* config, never its own default.
+        assert rebuilt.config == engine.config
+        assert rebuilt.config.cache is not None
+        assert rebuilt.config.resolution == config.resolution
+        assert rebuilt.config.sw_threshold == config.sw_threshold
+
+    def test_software_spec_carries_resolved_cache(self):
+        from repro.cache import CacheConfig
+
+        engine = SoftwareEngine(cache=CacheConfig())
+        spec = EngineSpec.for_engine(engine)
+        assert spec.cache == CacheConfig()
+        rebuilt = spec.build()
+        assert rebuilt.cache_config == CacheConfig()
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(TypeError):

@@ -55,17 +55,25 @@ class TestLargestRectangle:
         r0, c0, r1, c1 = largest_true_rectangle(grid)
         assert (r1 - r0 + 1) * (c1 - c0 + 1) == 8
 
+    def test_non_square_grid(self):
+        """Rows and columns must not be conflated on rectangular grids."""
+        grid = np.zeros((2, 9), dtype=bool)
+        grid[0, 3:8] = True  # a 1x5 strip in the first row
+        assert largest_true_rectangle(grid) == (0, 3, 0, 7)
+        # Transposed grid: the same strip now spans rows in one column.
+        assert largest_true_rectangle(grid.T.copy()) == (3, 0, 7, 0)
+
     @settings(max_examples=60)
-    @given(st.integers(0, 10_000))
-    def test_matches_brute_force(self, seed):
+    @given(st.integers(0, 10_000), st.integers(3, 9), st.integers(3, 9))
+    def test_matches_brute_force(self, seed, rows, cols):
         rng = np.random.default_rng(seed)
-        grid = rng.random((7, 7)) < 0.6
+        grid = rng.random((rows, cols)) < 0.6
         got = largest_true_rectangle(grid)
         best_area = 0
-        for r0 in range(7):
-            for c0 in range(7):
-                for r1 in range(r0, 7):
-                    for c1 in range(c0, 7):
+        for r0 in range(rows):
+            for c0 in range(cols):
+                for r1 in range(r0, rows):
+                    for c1 in range(c0, cols):
                         if grid[r0 : r1 + 1, c0 : c1 + 1].all():
                             best_area = max(
                                 best_area, (r1 - r0 + 1) * (c1 - c0 + 1)
@@ -92,6 +100,29 @@ class TestMerConstruction:
         for corner in mer.corners():
             assert C_SHAPE.contains_point(corner)
         assert C_SHAPE.contains_point(mer.center)
+
+    def test_row_col_mapping_on_non_square_mbr(self):
+        """_mer_of maps grid *rows* to y and *columns* to x.
+
+        A wide MBR (16x4) whose only tile-sized interior mass is a left
+        block pins the mapping: with rows and columns conflated the
+        rectangle would stretch into the thin right arm (or outside the
+        polygon entirely).  The arm is 0.4 units tall - thinner than two
+        tile rows - so it contributes no interior tiles.
+        """
+        wide = Polygon.from_coords(
+            [
+                (0, 0), (4, 0), (4, 1.8), (16, 1.8),
+                (16, 2.2), (4, 2.2), (4, 4), (0, 4),
+            ]
+        )
+        f = EnclosedRectangleFilter([wide], level=4)
+        mer = f.rectangle(0)
+        assert mer is not None
+        assert mer.xmax <= 4.0 + 1e-9  # confined to the left block
+        assert mer.height >= 1.0  # spans several tile rows vertically
+        for corner in mer.corners():
+            assert wide.contains_point(corner)
 
     def test_degenerate_polygon_has_no_mer(self):
         sliver = Polygon.from_coords([(0, 0), (4, 0), (2, 0)])

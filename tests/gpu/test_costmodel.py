@@ -1,6 +1,6 @@
 """Tests for operation counters and the abstract GPU cost model."""
 
-from repro.gpu import CostCounters, GpuCostModel
+from repro.gpu import DOCUMENTED_FREE, CostCounters, GpuCostModel
 
 
 class TestCounters:
@@ -78,3 +78,26 @@ class TestCostModel:
         sweep = model.evaluate(CostCounters(distance_field_pixels=100))
         readback = model.evaluate(CostCounters(pixels_transferred=100))
         assert fill < sweep < readback
+
+    def test_points_rendered_are_charged(self):
+        """Regression: the distance test's end-point caps (points_rendered)
+        evaluated to zero cost, understating widened-line workloads."""
+        model = GpuCostModel()
+        cost = model.evaluate(CostCounters(points_rendered=5))
+        assert cost == 5 * model.cost_point
+        assert cost > 0.0
+
+    def test_every_counter_charged_or_documented_free(self):
+        """The charged/free partition of CostCounters is total: a newly
+        added counter must either contribute to evaluate() or be listed in
+        DOCUMENTED_FREE with a rationale - it cannot be silently free."""
+        model = GpuCostModel()
+        for name in CostCounters.__dataclass_fields__:
+            cost = model.evaluate(CostCounters(**{name: 1}))
+            if name in DOCUMENTED_FREE:
+                assert cost == 0.0, f"{name} is documented free yet charged"
+            else:
+                assert cost > 0.0, f"{name} is neither charged nor documented free"
+
+    def test_documented_free_names_are_real_counters(self):
+        assert DOCUMENTED_FREE <= set(CostCounters.__dataclass_fields__)

@@ -67,6 +67,49 @@ class TestBasics:
         assert stats.nodes_expanded < 30
 
 
+class TestNonOrderableIds:
+    """Regression: ``results.sort()`` compared (distance, oid) tuples, so a
+    distance tie between non-orderable ids (dicts, geometries, mixed types)
+    raised TypeError mid-search.  Sorting must key on distance alone."""
+
+    def test_tied_distances_with_non_comparable_oids(self):
+        # Four identical rectangles -> every exact distance ties; the ids
+        # are dicts, which do not support "<".
+        ids = [{"name": chr(97 + i)} for i in range(4)]
+        entries = [(Rect(0, 0, 1, 1), oid) for oid in ids]
+        tree = str_bulk_load(entries)
+        got = rtree_nearest(tree, Point(2, 0.5), lambda oid: 1.0, k=3)
+        assert len(got) == 3
+        assert all(d == 1.0 for d, _ in got)
+        assert all(isinstance(oid, dict) for _, oid in got)
+
+    def test_linear_nearest_with_non_comparable_oids(self):
+        ids = [{"n": i} for i in range(5)]
+        got = linear_nearest(ids, lambda oid: 2.0, k=3)
+        # Stable sort: equal-distance ids keep input order.
+        assert got == [(2.0, ids[0]), (2.0, ids[1]), (2.0, ids[2])]
+
+    def test_tie_at_position_k(self):
+        """A tie exactly at the k-th slot must neither raise nor lose the
+        better-than-tied results; distances must match brute force."""
+        rect_list = [
+            Rect(0, 0, 1, 1),    # distance 1 to query
+            Rect(3, 0, 4, 1),    # distance 1 (tied)
+            Rect(10, 0, 11, 1),  # distance 8
+        ]
+        ids = [{"i": i} for i in range(3)]
+        tree = str_bulk_load([(r, oid) for r, oid in zip(rect_list, ids)])
+        by_id = {id(oid): r for oid, r in zip(ids, rect_list)}
+
+        def fn(oid):
+            return by_id[id(oid)].distance_to_point(Point(2.0, 0.5))
+
+        got = rtree_nearest(tree, Point(2.0, 0.5), fn, k=2)
+        assert [d for d, _ in got] == [1.0, 1.0]
+        got3 = rtree_nearest(tree, Point(2.0, 0.5), fn, k=3)
+        assert [d for d, _ in got3] == [1.0, 1.0, 8.0]
+
+
 class TestAgainstLinearScan:
     @settings(max_examples=60)
     @given(st.lists(rects(), min_size=1, max_size=50), points, st.integers(1, 4))
