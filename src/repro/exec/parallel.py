@@ -176,12 +176,23 @@ def _refine_with(
 # -- worker-side machinery ---------------------------------------------------
 
 _WORKER_ENGINE: Optional[RefinementEngine] = None
+_WORKER_INIT_ERROR: Optional[BaseException] = None
 
 
 def _init_worker(spec: EngineSpec) -> None:
-    """Pool initializer: build this worker's private engine once."""
-    global _WORKER_ENGINE
-    _WORKER_ENGINE = spec.build()
+    """Pool initializer: build this worker's private engine once.
+
+    Never raises: a ``multiprocessing.Pool`` whose initializer throws
+    respawns the worker in a loop and ``map`` hangs forever waiting for a
+    worker that will never come up.  The error is stashed instead, and the
+    first task raises it - which *does* propagate to the coordinator.
+    """
+    global _WORKER_ENGINE, _WORKER_INIT_ERROR
+    try:
+        _WORKER_ENGINE = spec.build()
+    except BaseException as exc:  # noqa: BLE001 - re-raised per task
+        _WORKER_ENGINE = None
+        _WORKER_INIT_ERROR = exc
 
 
 def _refine_shard(
@@ -189,7 +200,15 @@ def _refine_shard(
 ) -> ShardResult:
     op, distance, items, collect_metrics, collect_capture = task
     engine = _WORKER_ENGINE
-    assert engine is not None, "worker engine missing (pool not initialized)"
+    if engine is None:
+        raise RuntimeError(
+            "worker engine unavailable"
+            + (
+                f": initializer failed with {_WORKER_INIT_ERROR!r}"
+                if _WORKER_INIT_ERROR is not None
+                else " (pool not initialized)"
+            )
+        ) from _WORKER_INIT_ERROR
     engine.reset_stats()
     # Caches reset per task, like stats: each shard starts cold, so merged
     # hit/miss tallies (and every downstream number) depend only on shard
@@ -273,7 +292,26 @@ class ParallelExecutor:
     # -- lifecycle -------------------------------------------------------
 
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Gracefully shut down the worker pool (idempotent).
+
+        Uses ``Pool.close()`` + ``join()``: workers finish the tasks
+        already submitted before exiting, so a normal shutdown can never
+        kill an in-flight shard and lose or truncate its results.
+        ``terminate()`` - which kills workers mid-task - is reserved for
+        the error path (:meth:`terminate`, or a failed batch).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_spec = None
+
+    def terminate(self) -> None:
+        """Forcefully kill the worker pool (error path; idempotent).
+
+        In-flight shards are abandoned.  Only for unwinding after a
+        failure - normal shutdown is :meth:`close`.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
@@ -283,12 +321,19 @@ class ParallelExecutor:
     def __enter__(self) -> "ParallelExecutor":
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # Graceful drain on the normal path; don't wait for queued work
+        # when unwinding an exception.
+        if exc_type is None:
+            self.close()
+        else:
+            self.terminate()
 
     def __del__(self) -> None:  # best-effort; close() is the real API
         try:
-            self.close()
+            # terminate, not close: a graceful drain from a finalizer
+            # could block the interpreter on queued work nobody will read.
+            self.terminate()
         except Exception:
             pass
 
@@ -370,7 +415,14 @@ class ParallelExecutor:
             (op, distance, shard, collect_metrics, collect_capture)
             for shard in partition_items(items, shards)
         ]
-        results: List[ShardResult] = pool.map(_refine_shard, tasks)
+        try:
+            results: List[ShardResult] = pool.map(_refine_shard, tasks)
+        except Exception:
+            # A worker raised (bad spec, shard failure): the batch is lost
+            # either way, so tear the pool down hard and propagate - the
+            # next refine_pairs call rebuilds a fresh pool.
+            self.terminate()
+            raise
         for k, res in enumerate(results):
             report.matches.extend(res.matches)
             report.worker_seconds += res.elapsed_s

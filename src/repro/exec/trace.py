@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import IO, Any, Dict, Iterator, List, Optional, Union
 
@@ -111,6 +112,17 @@ class Tracer:
         self._exporter = exporter
         self._stack: List[int] = []
         self._next_id = 1
+        # One consistent clock pair, captured once: every span timestamp is
+        # derived as wall-anchor + monotonic-elapsed, so start_unix_s and
+        # duration_s always come from the same (monotonic) clock.  Mixing
+        # time.time() into individual spans would skew them against their
+        # durations whenever the wall clock is adjusted (NTP step, DST).
+        self._wall_anchor = time.time()
+        self._perf_anchor = time.perf_counter()
+
+    def _now_unix_s(self) -> float:
+        """Wall-clock 'now' derived from the monotonic clock."""
+        return self._wall_anchor + (time.perf_counter() - self._perf_anchor)
 
     # -- recording --------------------------------------------------------
 
@@ -121,7 +133,7 @@ class Tracer:
             span_id=self._next_id,
             parent_id=self._stack[-1] if self._stack else None,
             name=name,
-            start_unix_s=time.time(),
+            start_unix_s=self._now_unix_s(),
             duration_s=0.0,
             attributes=dict(attributes),
         )
@@ -151,14 +163,21 @@ class Tracer:
         ended, so its start is *now minus the duration* - recording the end
         time as the start would shift externally-timed spans forward by
         their own length and break start+duration interval math against
-        sibling spans.
+        sibling spans.  "Now" is derived from the tracer's single
+        wall+monotonic clock pair, never a fresh ``time.time()`` read:
+        ``duration_s`` was measured on the monotonic clock, and
+        backdating a monotonic duration from an adjustable wall reading
+        would skew the span against its siblings whenever the system
+        clock steps.
         """
         span = Span(
             span_id=self._next_id,
             parent_id=self._stack[-1] if self._stack else None,
             name=name,
             start_unix_s=(
-                time.time() - duration_s if start_unix_s is None else start_unix_s
+                self._now_unix_s() - duration_s
+                if start_unix_s is None
+                else start_unix_s
             ),
             duration_s=duration_s,
             attributes=dict(attributes),
@@ -193,29 +212,44 @@ class Tracer:
         return [s for s in self.spans if s.name == name]
 
 
-# -- the process-global current tracer --------------------------------------
+# -- the current tracer -------------------------------------------------------
+#
+# Same two-layer scheme as :mod:`repro.obs.metrics`: a scoped ContextVar
+# (token-restored, so concurrent / nested :func:`use_tracer` scopes cannot
+# stomp each other) over a process-global base :func:`install`.
 
-_CURRENT: Optional[Tracer] = None
+#: Sentinel distinguishing "no scoped override" from scoped ``None``.
+_UNSET: Any = object()
+
+_INSTALLED: Optional[Tracer] = None
+_SCOPED: "ContextVar[Any]" = ContextVar("repro_exec_tracer", default=_UNSET)
 
 
 def current_tracer() -> Optional[Tracer]:
     """The installed tracer, or None when tracing is off (the default)."""
-    return _CURRENT
+    scoped = _SCOPED.get()
+    if scoped is not _UNSET:
+        return scoped
+    return _INSTALLED
 
 
 def install(tracer: Optional[Tracer]) -> Optional[Tracer]:
-    """Install ``tracer`` globally; returns the previously installed one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = tracer
+    """Install ``tracer`` process-globally; returns the previous base."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = tracer
     return previous
 
 
 @contextmanager
-def use_tracer(tracer: Tracer) -> Iterator[Tracer]:
-    """Install ``tracer`` for the duration of a block."""
-    previous = install(tracer)
+def use_tracer(tracer: Optional[Tracer]) -> Iterator[Optional[Tracer]]:
+    """Install ``tracer`` for the duration of a block (this context only).
+
+    Passing ``None`` explicitly disables tracing inside the block, even
+    when a process-global tracer is installed.
+    """
+    token = _SCOPED.set(tracer)
     try:
         yield tracer
     finally:
-        install(previous)
+        _SCOPED.reset(token)

@@ -45,7 +45,8 @@ from __future__ import annotations
 
 import hashlib
 import json
-from contextlib import contextmanager
+from contextlib import ExitStack, contextmanager
+from contextvars import ContextVar
 from typing import IO, Any, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
@@ -391,34 +392,53 @@ def load_capture(path: str) -> List[Dict[str, Any]]:
     return events
 
 
-# -- the process-global current recorder -------------------------------------
+# -- the current recorder -----------------------------------------------------
+#
+# Same two-layer scheme as :mod:`repro.obs.metrics`: a scoped ContextVar
+# (token-restored, so concurrent / nested :func:`use_recorder` scopes
+# cannot stomp each other) over a process-global base install.  A scoped
+# explicit ``None`` suppresses capture inside the block - the replayer
+# relies on that to keep the replay itself out of any live capture.
 
-_CURRENT: Optional[CommandRecorder] = None
+#: Sentinel distinguishing "no scoped override" from scoped ``None``.
+_UNSET: Any = object()
+
+_INSTALLED: Optional[CommandRecorder] = None
+_SCOPED: "ContextVar[Any]" = ContextVar("repro_obs_recorder", default=_UNSET)
 
 
 def current_recorder() -> Optional[CommandRecorder]:
     """The installed recorder, or None when capture is off (the default)."""
-    return _CURRENT
+    scoped = _SCOPED.get()
+    if scoped is not _UNSET:
+        return scoped
+    return _INSTALLED
 
 
 def install_recorder(
     recorder: Optional[CommandRecorder],
 ) -> Optional[CommandRecorder]:
-    """Install ``recorder`` globally; returns the previously installed one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = recorder
+    """Install ``recorder`` process-globally; returns the previous base."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = recorder
     return previous
 
 
 @contextmanager
-def use_recorder(recorder: CommandRecorder) -> Iterator[CommandRecorder]:
-    """Install ``recorder`` for the duration of a block."""
-    previous = install_recorder(recorder)
+def use_recorder(
+    recorder: Optional[CommandRecorder],
+) -> Iterator[Optional[CommandRecorder]]:
+    """Install ``recorder`` for the duration of a block (this context only).
+
+    Passing ``None`` explicitly disables capture inside the block, even
+    when a process-global recorder is installed.
+    """
+    token = _SCOPED.set(recorder)
     try:
         yield recorder
     finally:
-        install_recorder(previous)
+        _SCOPED.reset(token)
 
 
 # -- the deterministic replayer ----------------------------------------------
@@ -464,12 +484,12 @@ def replay_events(
     :class:`ReplayResult`; call :meth:`ReplayResult.assert_ok` to raise on
     the first summary of divergences.
     """
-    from ..exec.trace import install as install_tracer
+    from ..exec.trace import use_tracer
     from ..geometry.rect import Rect
     from ..gpu.pipeline import GraphicsPipeline
     from ..gpu.state import DeviceLimits
     from ..gpu.tiled import TiledPipeline
-    from .metrics import install_registry
+    from .metrics import use_registry
 
     result = ReplayResult()
     pipelines: Dict[str, Any] = result.pipelines
@@ -492,10 +512,13 @@ def replay_events(
             )
         return p
 
-    prev_recorder = install_recorder(None)
-    prev_registry = install_registry(None)
-    prev_tracer = install_tracer(None)
-    try:
+    # Scoped suppression (not a global uninstall): the replay must be
+    # invisible to the observability layers without disturbing recorders /
+    # registries / tracers other threads are concurrently using.
+    with ExitStack() as stack:
+        stack.enter_context(use_recorder(None))
+        stack.enter_context(use_registry(None))
+        stack.enter_context(use_tracer(None))
         for event in events:
             cmd = event["cmd"]
             result.events_replayed += 1
@@ -618,10 +641,6 @@ def replay_events(
                 raise ValueError(
                     f"seq {event.get('seq')}: unknown capture command {cmd!r}"
                 )
-    finally:
-        install_tracer(prev_tracer)
-        install_registry(prev_registry)
-        install_recorder(prev_recorder)
     return result
 
 

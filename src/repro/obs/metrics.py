@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import json
 import math
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple, Union
 
 #: Version tag of the snapshot schema (bump on incompatible change).
@@ -95,22 +97,32 @@ def _canonical_partials(partials: List[float]) -> List[float]:
 
 
 class Counter:
-    """A monotonically accumulating value."""
+    """A monotonically accumulating value.
 
-    __slots__ = ("value",)
+    Thread-safe: ``value += amount`` is a read-modify-write, and the
+    threaded query service increments shared counters from many worker
+    threads at once - an unguarded update loses counts.  Each instrument
+    owns a lock; uncontended acquisition is cheap, and the
+    no-registry-installed fast path never reaches an instrument at all.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: Union[int, float] = 1) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up; got {amount!r}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def _merge_value(self, value: Union[int, float]) -> None:
         if value < 0:
             raise ValueError(f"counters cannot merge negative {value!r}")
-        self.value += value
+        with self._lock:
+            self.value += value
 
 
 class Gauge:
@@ -119,18 +131,29 @@ class Gauge:
     Merge semantics take the **maximum** of the two values (the only
     order-independent choice without timestamps); the gauges recorded here
     (atlas capacity, worker counts) are identical across shards anyway.
+
+    Thread-safe: :meth:`add` (the delta form the serving layer uses for
+    queue-depth / inflight tracking) and merge are read-modify-writes.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value: Union[int, float] = 0
+        self._lock = threading.Lock()
 
     def set(self, value: Union[int, float]) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
+
+    def add(self, delta: Union[int, float]) -> None:
+        """Adjust the gauge by ``delta`` (atomic, may go up or down)."""
+        with self._lock:
+            self.value += delta
 
     def _merge_value(self, value: Union[int, float]) -> None:
-        self.value = max(self.value, value)
+        with self._lock:
+            self.value = max(self.value, value)
 
 
 class Histogram:
@@ -148,7 +171,7 @@ class Histogram:
     shards and merged, in any merge order.
     """
 
-    __slots__ = ("count", "zeros", "buckets", "_partials", "min", "max")
+    __slots__ = ("count", "zeros", "buckets", "_partials", "min", "max", "_lock")
 
     def __init__(self) -> None:
         self.count: int = 0
@@ -157,6 +180,7 @@ class Histogram:
         self._partials: List[float] = []
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._lock = threading.Lock()
 
     def observe(self, value: Union[int, float]) -> None:
         value = float(value)
@@ -164,57 +188,103 @@ class Histogram:
             raise ValueError(
                 f"histogram observations must be finite and >= 0, got {value!r}"
             )
-        self.count += 1
-        if value == 0.0:
-            self.zeros += 1
-        else:
-            e = math.frexp(value)[1]
-            self.buckets[e] = self.buckets.get(e, 0) + 1
-            _partials_add(self._partials, value)
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
+        with self._lock:
+            self.count += 1
+            if value == 0.0:
+                self.zeros += 1
+            else:
+                e = math.frexp(value)[1]
+                self.buckets[e] = self.buckets.get(e, 0) + 1
+                _partials_add(self._partials, value)
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
 
     @property
     def sum(self) -> float:
         """Correctly-rounded exact sum of all observations."""
-        return math.fsum(self._partials)
+        with self._lock:
+            return math.fsum(self._partials)
 
     @property
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Conservative (upper-bound) quantile estimate from the buckets.
+
+        The bucket boundaries are fixed powers of two, so the estimate for
+        a rank landing in bucket ``e`` is ``min(2**e, max)`` - never below
+        the true quantile, never above the largest observation.  Good
+        enough for SLO gating (is p99 under the budget?); exact per-request
+        latencies stay with the load generator, which records them raw.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            rank = max(1, math.ceil(q * self.count))
+            cumulative = self.zeros
+            if rank <= cumulative:
+                return 0.0
+            assert self.max is not None
+            for e in sorted(self.buckets):
+                cumulative += self.buckets[e]
+                if rank <= cumulative:
+                    return min(2.0**e, self.max)
+            return self.max
+
+    def summary(self) -> Dict[str, float]:
+        """Count / sum / mean / min / max plus p50, p95, p99 estimates."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
     def _merge(self, other: "Histogram") -> None:
         self._merge_snapshot(other._snapshot())
 
     def _snapshot(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {
-            "count": self.count,
-            "sum": self.sum,
-            # Exact partials in canonical form: floats round-trip through
-            # JSON bit-exactly (shortest repr), so a snapshot merge is as
-            # exact as a live one, and equal histograms - however their
-            # observations were sharded or merge-ordered - snapshot
-            # identically.
-            "sum_parts": _canonical_partials(self._partials),
-            "zeros": self.zeros,
-            "buckets": {str(e): n for e, n in sorted(self.buckets.items())},
-        }
-        if self.min is not None:
-            out["min"] = self.min
-            out["max"] = self.max
-        return out
+        with self._lock:
+            out: Dict[str, Any] = {
+                "count": self.count,
+                "sum": math.fsum(self._partials),
+                # Exact partials in canonical form: floats round-trip through
+                # JSON bit-exactly (shortest repr), so a snapshot merge is as
+                # exact as a live one, and equal histograms - however their
+                # observations were sharded or merge-ordered - snapshot
+                # identically.
+                "sum_parts": _canonical_partials(self._partials),
+                "zeros": self.zeros,
+                "buckets": {str(e): n for e, n in sorted(self.buckets.items())},
+            }
+            if self.min is not None:
+                out["min"] = self.min
+                out["max"] = self.max
+            return out
 
     def _merge_snapshot(self, snap: Mapping[str, Any]) -> None:
-        self.count += snap["count"]
-        self.zeros += snap["zeros"]
-        for key, n in snap["buckets"].items():
-            e = int(key)
-            self.buckets[e] = self.buckets.get(e, 0) + n
-        for part in snap["sum_parts"]:
-            _partials_add(self._partials, part)
-        if "min" in snap:
-            self.min = snap["min"] if self.min is None else min(self.min, snap["min"])
-            self.max = snap["max"] if self.max is None else max(self.max, snap["max"])
+        with self._lock:
+            self.count += snap["count"]
+            self.zeros += snap["zeros"]
+            for key, n in snap["buckets"].items():
+                e = int(key)
+                self.buckets[e] = self.buckets.get(e, 0) + n
+            for part in snap["sum_parts"]:
+                _partials_add(self._partials, part)
+            if "min" in snap:
+                self.min = (
+                    snap["min"] if self.min is None else min(self.min, snap["min"])
+                )
+                self.max = (
+                    snap["max"] if self.max is None else max(self.max, snap["max"])
+                )
 
 
 Instrument = Union[Counter, Gauge, Histogram]
@@ -266,16 +336,23 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: Dict[MetricKey, Instrument] = {}
+        # Guards instrument creation and whole-registry operations
+        # (snapshot/merge/reset); the instruments themselves carry their
+        # own locks for value updates, so hot-path increments never
+        # contend on the registry.
+        self._lock = threading.RLock()
 
     # -- instrument access -----------------------------------------------
 
     def _get(self, cls, name: str, labels: Mapping[str, Any]) -> Instrument:
         key = (name, _label_items(labels))
-        found = self._metrics.get(key)
-        if found is None:
-            found = cls()
-            self._metrics[key] = found
-        elif type(found) is not cls:
+        with self._lock:
+            found = self._metrics.get(key)
+            if found is None:
+                found = cls()
+                self._metrics[key] = found
+                return found
+        if type(found) is not cls:
             raise TypeError(
                 f"metric {format_key(*key)!r} is a {_KIND_NAMES[type(found)]},"
                 f" not a {_KIND_NAMES[cls]}"
@@ -305,8 +382,10 @@ class MetricsRegistry:
         counters: Dict[str, Any] = {}
         gauges: Dict[str, Any] = {}
         histograms: Dict[str, Any] = {}
-        for key in sorted(self._metrics):
-            metric = self._metrics[key]
+        with self._lock:
+            metrics = dict(self._metrics)
+        for key in sorted(metrics):
+            metric = metrics[key]
             skey = format_key(*key)
             if isinstance(metric, Counter):
                 counters[skey] = metric.value
@@ -346,7 +425,8 @@ class MetricsRegistry:
                     metric._merge_value(value)
 
     def reset(self) -> None:
-        self._metrics.clear()
+        with self._lock:
+            self._metrics.clear()
 
     # -- exporters ---------------------------------------------------------
 
@@ -370,8 +450,10 @@ class MetricsRegistry:
         fixed power-of-two boundaries actually populated, plus ``_sum`` and
         ``_count``.
         """
+        with self._lock:
+            metrics = dict(self._metrics)
         by_family: Dict[str, List[Tuple[LabelItems, Instrument]]] = {}
-        for (name, labels), metric in sorted(self._metrics.items()):
+        for (name, labels), metric in sorted(metrics.items()):
             by_family.setdefault(name, []).append((labels, metric))
         lines: List[str] = []
         for name, series in by_family.items():
@@ -401,31 +483,67 @@ def _fmt_num(value: Union[int, float]) -> str:
     return repr(value)
 
 
-# -- the process-global current registry -------------------------------------
+# -- the current registry -----------------------------------------------------
+#
+# Two layers, consulted scoped-first:
+#
+# * a **scoped** ContextVar set by :func:`use_registry` - each thread /
+#   asyncio task restores exactly the value it shadowed (token-based
+#   reset), so nested scopes and concurrent requests cannot stomp each
+#   other the way a swap-a-global-and-swap-back protocol does (last
+#   writer used to win, leaking one request's registry into another);
+# * a **process-global** base set by :func:`install_registry` - the
+#   long-lived install (a serving process's registry, a benchmark run),
+#   visible to every thread that has no scoped override.
+#
+# The zero-overhead default is preserved: with nothing installed,
+# :func:`current_registry` is one ContextVar read, one global read, and a
+# None check - no allocations, no locks.
 
-_CURRENT: Optional[MetricsRegistry] = None
+#: Sentinel distinguishing "no scoped override" from an explicit scoped
+#: ``None`` (= metrics suppressed inside this scope).
+_UNSET: Any = object()
+
+_INSTALLED: Optional[MetricsRegistry] = None
+_SCOPED: "ContextVar[Any]" = ContextVar("repro_obs_registry", default=_UNSET)
 
 
 def current_registry() -> Optional[MetricsRegistry]:
     """The installed registry, or None when metrics are off (the default)."""
-    return _CURRENT
+    scoped = _SCOPED.get()
+    if scoped is not _UNSET:
+        return scoped
+    return _INSTALLED
 
 
 def install_registry(
     registry: Optional[MetricsRegistry],
 ) -> Optional[MetricsRegistry]:
-    """Install ``registry`` globally; returns the previously installed one."""
-    global _CURRENT
-    previous = _CURRENT
-    _CURRENT = registry
+    """Install ``registry`` process-globally; returns the previous base.
+
+    This is the long-lived install; scoped :func:`use_registry` blocks
+    shadow it without disturbing it.
+    """
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = registry
     return previous
 
 
 @contextmanager
-def use_registry(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
-    """Install ``registry`` for the duration of a block."""
-    previous = install_registry(registry)
+def use_registry(
+    registry: Optional[MetricsRegistry],
+) -> Iterator[Optional[MetricsRegistry]]:
+    """Install ``registry`` for the duration of a block (this context only).
+
+    Scoped to the current thread / asyncio task via a ContextVar with
+    token-based restore: concurrent scopes are isolated and nested scopes
+    unwind correctly even when exits interleave.  Passing ``None``
+    explicitly suppresses metrics inside the block (shadowing any
+    process-global install).
+    """
+    token = _SCOPED.set(registry)
     try:
         yield registry
     finally:
-        install_registry(previous)
+        _SCOPED.reset(token)

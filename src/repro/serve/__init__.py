@@ -1,0 +1,75 @@
+"""repro.serve: a concurrent query service over the spatial engine.
+
+The batch layers answer "how fast is one query"; this package answers
+"how many concurrent clients can a process sustain, at what latency".
+It is deliberately thin - persistent engines + admission control +
+accounting - because the serving determinism property requires that it
+adds **no execution path of its own**: every response is bit-identical
+to a direct engine call.
+
+Layers (each its own module):
+
+* :mod:`~repro.serve.schema` - versioned request/response wire types;
+* :mod:`~repro.serve.engine` - the persistent per-worker engines, warm
+  pipelines, and the checkout pool;
+* :mod:`~repro.serve.admission` - bounded queueing with explicit shed
+  and timeout outcomes;
+* :mod:`~repro.serve.service` - the thread-safe core gluing those
+  together and accounting every request into the metrics registry;
+* :mod:`~repro.serve.server` - the asyncio TCP JSON-lines front-end;
+* :mod:`~repro.serve.loadgen` - open-loop and closed-loop load
+  generators emitting RunReports for CI gating.
+"""
+
+from .admission import AdmissionConfig, AdmissionController
+from .engine import BACKENDS, EnginePool, ServingEngine, ServingWorkload, WorkloadConfig
+from .loadgen import (
+    DEFAULT_MIX,
+    LoadAccountingError,
+    LoadgenConfig,
+    LoadResult,
+    build_schedule,
+    run_closed_loop,
+    run_open_loop,
+    run_sweep,
+)
+from .schema import (
+    REQUEST_SCHEMA,
+    RESPONSE_SCHEMA,
+    SERVE_OPS,
+    STATUSES,
+    QueryRequest,
+    QueryResponse,
+    canonical_results,
+)
+from .server import ServeFrontend, run_server, send_envelope
+from .service import QueryService
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "BACKENDS",
+    "DEFAULT_MIX",
+    "EnginePool",
+    "LoadAccountingError",
+    "LoadResult",
+    "LoadgenConfig",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "REQUEST_SCHEMA",
+    "RESPONSE_SCHEMA",
+    "SERVE_OPS",
+    "STATUSES",
+    "ServeFrontend",
+    "ServingEngine",
+    "ServingWorkload",
+    "WorkloadConfig",
+    "build_schedule",
+    "canonical_results",
+    "run_closed_loop",
+    "run_open_loop",
+    "run_server",
+    "run_sweep",
+    "send_envelope",
+]

@@ -1,0 +1,250 @@
+"""Command-line entry point for the serving layer.
+
+Examples::
+
+    python -m repro.serve serve --port 8753 --workers 2
+    python -m repro.serve loadgen --rate 6 --duration 30 --report-out run.json
+    python -m repro.serve sweep --levels 1,2,4 --iterations 20
+    python -m repro.serve ping --port 8753
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..bench.scales import DEFAULT_SCALE, SCALES
+from ..cache import CacheConfig
+from ..obs.runreport import write_run_report
+from .admission import AdmissionConfig
+from .engine import BACKENDS, WorkloadConfig
+from .loadgen import LoadgenConfig, LoadResult, run_open_loop, run_sweep
+from .server import run_server, send_envelope
+from .service import QueryService
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        default=DEFAULT_SCALE,
+        choices=sorted(SCALES),
+        help=f"workload scale preset (default: {DEFAULT_SCALE})",
+    )
+    parser.add_argument(
+        "--engine",
+        default="hardware",
+        choices=("hardware", "software"),
+        help="refinement engine kind (default: hardware)",
+    )
+    parser.add_argument(
+        "--backend",
+        default="batched",
+        choices=BACKENDS,
+        help="geometry-stage backend (default: batched)",
+    )
+    parser.add_argument(
+        "--resolution",
+        type=int,
+        default=8,
+        help="hardware window resolution (default: 8)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="engine-pool width: persistent engines (default: 2)",
+    )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=2,
+        help="process-pool width per engine for --backend sharded (default: 2)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="enable the repro.cache memoization layers (default: off; "
+        "note: cache hits depend on request-to-engine assignment, so "
+        "reports are only counter-deterministic with caching off)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admission queue bound; arrivals beyond it are shed (default: 64)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="seconds a queued request may wait for an engine "
+        "(default: wait forever)",
+    )
+    parser.add_argument(
+        "--warm",
+        action="store_true",
+        help="prime every pool engine with one request before serving",
+    )
+
+
+def _build_service(args: argparse.Namespace) -> QueryService:
+    workload = WorkloadConfig(
+        scale=args.scale,
+        engine=args.engine,
+        resolution=args.resolution,
+        backend=args.backend,
+        shard_workers=args.shard_workers,
+        cache=CacheConfig() if args.cache else CacheConfig.disabled(),
+    )
+    admission = AdmissionConfig(max_queue=args.max_queue, timeout_s=args.timeout)
+    return QueryService(
+        workload=workload,
+        workers=args.workers,
+        admission=admission,
+        warm=args.warm,
+    )
+
+
+def _add_output_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--report-out",
+        default=None,
+        help="write a versioned RunReport JSON (gate with "
+        "'python -m repro.obs compare')",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the service's metrics snapshot as JSON",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also append the formatted result table to this file",
+    )
+
+
+def _emit(load: LoadResult, args: argparse.Namespace) -> None:
+    text = load.result.format()
+    counts = load.status_counts
+    text += (
+        f"\nstatuses: ok={counts['ok']} shed={counts['shed']}"
+        f" timeout={counts['timeout']} error={counts['error']}"
+        f" (wall {load.wall_s:.1f} s)\n"
+    )
+    print(text)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as f:
+            f.write(text + "\n")
+    if args.report_out:
+        write_run_report(args.report_out, load.run_report(scale=args.scale))
+        print(f"run report written to {args.report_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as f:
+            json.dump(load.metrics_snapshot, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"metrics snapshot written to {args.metrics_out}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Concurrent query service over the spatial engine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the TCP JSONL front-end")
+    _add_service_args(p_serve)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8753)
+
+    p_load = sub.add_parser(
+        "loadgen", help="open-loop fixed-arrival-rate load run (in-process)"
+    )
+    _add_service_args(p_load)
+    _add_output_args(p_load)
+    p_load.add_argument(
+        "--rate", type=float, default=8.0, help="arrivals per second"
+    )
+    p_load.add_argument(
+        "--duration", type=float, default=10.0, help="schedule length, seconds"
+    )
+    p_load.add_argument(
+        "--seed", type=int, default=2003, help="schedule RNG seed"
+    )
+
+    p_sweep = sub.add_parser(
+        "sweep", help="closed-loop saturation sweep over concurrency levels"
+    )
+    _add_service_args(p_sweep)
+    _add_output_args(p_sweep)
+    p_sweep.add_argument(
+        "--levels",
+        default="1,2,4",
+        help="comma-separated concurrency levels (default: 1,2,4)",
+    )
+    p_sweep.add_argument(
+        "--iterations",
+        type=int,
+        default=20,
+        help="requests per client per level (default: 20)",
+    )
+    p_sweep.add_argument("--seed", type=int, default=2003)
+
+    p_ping = sub.add_parser("ping", help="liveness-check a running server")
+    p_ping.add_argument("--host", default="127.0.0.1")
+    p_ping.add_argument("--port", type=int, default=8753)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "ping":
+        reply = send_envelope(args.host, args.port, {"kind": "ping"})
+        print(json.dumps(reply))
+        return 0 if reply.get("kind") == "pong" else 1
+
+    if args.command == "serve":
+        service = _build_service(args)
+        try:
+            run_server(service, host=args.host, port=args.port)
+        finally:
+            service.close()
+        return 0
+
+    if args.command == "loadgen":
+        service = _build_service(args)
+        try:
+            load = run_open_loop(
+                service,
+                LoadgenConfig(
+                    rate=args.rate, duration_s=args.duration, seed=args.seed
+                ),
+            )
+        finally:
+            service.close()
+        _emit(load, args)
+        return 0
+
+    if args.command == "sweep":
+        try:
+            levels = [int(x) for x in args.levels.split(",") if x.strip()]
+        except ValueError:
+            print(f"bad --levels {args.levels!r}", file=sys.stderr)
+            return 2
+        service = _build_service(args)
+        try:
+            load = run_sweep(
+                service, levels, iterations=args.iterations, seed=args.seed
+            )
+        finally:
+            service.close()
+        _emit(load, args)
+        return 0
+
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

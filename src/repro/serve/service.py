@@ -1,0 +1,207 @@
+"""The query service: admission, engine checkout, execution, accounting.
+
+:class:`QueryService` is the thread-safe core both front-ends share - the
+asyncio TCP server (:mod:`repro.serve.server`) and the in-process load
+generators (:mod:`repro.serve.loadgen`).  One :meth:`submit` call is one
+request's whole life:
+
+1. **admission** - refused immediately (``shed``) when the wait queue is
+   full;
+2. **engine checkout** - block until a pool engine frees up, bounded by
+   the admission deadline (``timeout``);
+3. **execution** - the checked-out :class:`~repro.serve.engine.ServingEngine`
+   runs the exact batch-path pipeline; results are bit-identical to a
+   direct engine call;
+4. **accounting** - every outcome increments
+   ``serve_requests{op,status}``; latency splits land in the
+   ``serve_wait_duration_s`` / ``serve_exec_duration_s`` /
+   ``serve_request_duration_s`` histograms (per op); queue depth and
+   inflight ride the ``serve_queue_depth`` / ``serve_inflight`` gauges.
+
+The service owns a :class:`~repro.obs.metrics.MetricsRegistry` and scopes
+it around execution with :func:`~repro.obs.metrics.use_registry`, so the
+existing pipeline instrumentation (funnel counters, stage seconds,
+refinement stats) publishes into it from every worker thread concurrently -
+which is exactly the load that required making the registry thread-safe
+and the install contextvar-scoped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from ..obs.metrics import MetricsRegistry, use_registry
+from .admission import AdmissionConfig, AdmissionController
+from .engine import EnginePool, ServingWorkload, WorkloadConfig
+from .schema import QueryRequest, QueryResponse
+
+
+class QueryService:
+    """Thread-safe serving core over one engine pool."""
+
+    def __init__(
+        self,
+        workload: Optional[WorkloadConfig] = None,
+        workers: int = 2,
+        admission: Optional[AdmissionConfig] = None,
+        registry: Optional[MetricsRegistry] = None,
+        warm: bool = False,
+    ) -> None:
+        self.workload_config = workload if workload is not None else WorkloadConfig()
+        self.admission_config = (
+            admission if admission is not None else AdmissionConfig()
+        )
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.workload = ServingWorkload(self.workload_config)
+        self.pool = EnginePool(self.workload, workers, warm=warm)
+        self.admission = AdmissionController(
+            self.admission_config, registry=self.registry
+        )
+        self._closed = threading.Event()
+        reg = self.registry
+        reg.gauge("serve_workers").set(workers)
+        reg.gauge("serve_queue_capacity").set(self.admission_config.max_queue)
+
+    # -- capacity (how many threads a front-end may need) -----------------
+
+    @property
+    def capacity(self) -> int:
+        """Upper bound on requests usefully inside the service at once."""
+        return self.pool.size + self.admission_config.max_queue
+
+    # -- submission -------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> QueryResponse:
+        """Execute one request synchronously (blocking; thread-safe).
+
+        Never raises for per-request problems: validation and execution
+        failures come back as ``status="error"`` responses so one bad
+        request cannot take down a serving thread.
+        """
+        start = time.perf_counter()
+        reg = self.registry
+        if self._closed.is_set():
+            return self._finish(
+                request, "error", start, error="service is closed"
+            )
+        if not self.admission.try_admit():
+            return self._finish(request, "shed", start)
+
+        engine = self.pool.acquire(self.admission_config.timeout_s)
+        wait_s = time.perf_counter() - start
+        if engine is None:
+            self.admission.abandon_queue()
+            return self._finish(request, "timeout", start, wait_s=wait_s)
+
+        self.admission.start_execution()
+        try:
+            exec_start = time.perf_counter()
+            with use_registry(reg):
+                results, cost = engine.execute(request)
+            exec_s = time.perf_counter() - exec_start
+        except Exception as exc:
+            return self._finish(
+                request,
+                "error",
+                start,
+                wait_s=wait_s,
+                worker=engine.worker_id,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        finally:
+            self.admission.finish_execution()
+            self.pool.release(engine)
+        return self._finish(
+            request,
+            "ok",
+            start,
+            results=results,
+            wait_s=wait_s,
+            exec_s=exec_s,
+            worker=engine.worker_id,
+            attributes={"pairs_compared": cost.pairs_compared},
+        )
+
+    async def asubmit(
+        self,
+        request: QueryRequest,
+        executor: Any = None,
+    ) -> QueryResponse:
+        """Asyncio facade: run :meth:`submit` on a thread-pool executor.
+
+        ``executor`` should be sized to the service's :attr:`capacity` so
+        the offload pool is never the bottleneck (the front-ends do this).
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(executor, self.submit, request)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _finish(
+        self,
+        request: QueryRequest,
+        status: str,
+        start: float,
+        results: Optional[list] = None,
+        wait_s: float = 0.0,
+        exec_s: float = 0.0,
+        worker: Optional[int] = None,
+        error: Optional[str] = None,
+        attributes: Optional[Dict[str, Any]] = None,
+    ) -> QueryResponse:
+        total_s = time.perf_counter() - start
+        reg = self.registry
+        reg.counter("serve_requests", op=request.op, status=status).inc()
+        if status == "ok":
+            reg.histogram("serve_wait_duration_s", op=request.op).observe(wait_s)
+            reg.histogram("serve_exec_duration_s", op=request.op).observe(exec_s)
+            reg.histogram("serve_request_duration_s", op=request.op).observe(
+                total_s
+            )
+        return QueryResponse(
+            status=status,
+            op=request.op,
+            results=results,
+            request_id=request.request_id,
+            worker=worker,
+            wait_s=wait_s,
+            exec_s=exec_s,
+            total_s=total_s,
+            error=error,
+            attributes=dict(attributes) if attributes else {},
+        )
+
+    # -- introspection / lifecycle ----------------------------------------
+
+    def describe(self) -> Dict[str, Any]:
+        info = self.workload.describe()
+        info.update(
+            workers=self.pool.size,
+            max_queue=self.admission_config.max_queue,
+            timeout_s=self.admission_config.timeout_s,
+        )
+        return info
+
+    def metrics_text(self) -> str:
+        """Prometheus-style exposition of the service registry."""
+        return self.registry.prometheus_text()
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        return self.registry.snapshot()
+
+    def close(self) -> None:
+        """Refuse new work and release engine resources (idempotent)."""
+        self._closed.set()
+        self.pool.close()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+__all__ = ["QueryService"]

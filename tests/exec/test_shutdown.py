@@ -1,0 +1,111 @@
+"""Executor lifecycle tests: graceful close, error-path terminate,
+and worker initializer failures that must propagate instead of hanging."""
+
+import pytest
+
+from repro.core.engine import SoftwareEngine
+from repro.exec.parallel import EngineSpec, ParallelExecutor, _refine_shard
+from tests.exec.conftest import _layer
+
+
+def _items(count: int = 64):
+    a = _layer(seed=41, count=8, name="SA")
+    b = _layer(seed=42, count=8, name="SB")
+    items = []
+    i = 0
+    while len(items) < count:
+        for pa in a.polygons:
+            for pb in b.polygons:
+                items.append((i, pa, pb))
+                i += 1
+                if len(items) >= count:
+                    return items
+    return items
+
+
+class TestGracefulShutdown:
+    def test_close_is_idempotent_without_pool(self):
+        executor = ParallelExecutor(workers=2)
+        executor.close()
+        executor.close()
+
+    def test_close_drains_queued_work(self):
+        # Queue shards directly on the pool, then close(): a graceful
+        # shutdown must let every queued task finish, not kill it.
+        executor = ParallelExecutor(workers=2)
+        spec = EngineSpec.for_engine(SoftwareEngine())
+        pool = executor._pool_for(spec)
+        tasks = [
+            ("intersect", None, _items(16), False, False) for _ in range(6)
+        ]
+        async_result = pool.map_async(_refine_shard, tasks)
+        executor.close()  # close() + join() waits for the queued shards
+        assert async_result.ready()
+        results = async_result.get(timeout=0)
+        assert len(results) == 6
+        assert all(r.pairs == 16 for r in results)
+
+    def test_executor_usable_after_close(self):
+        engine = SoftwareEngine()
+        executor = ParallelExecutor(workers=2, min_inline_items=1)
+        items = _items(64)
+        first = executor.refine_pairs(engine, "intersect", items)
+        executor.close()
+        # The pool rebuilds lazily on the next batch.
+        second = executor.refine_pairs(engine, "intersect", items)
+        executor.close()
+        assert first == second
+
+    def test_context_manager_closes_gracefully(self):
+        engine = SoftwareEngine()
+        with ParallelExecutor(workers=2, min_inline_items=1) as executor:
+            executor.refine_pairs(engine, "intersect", _items(64))
+            pool = executor._pool
+            assert pool is not None
+        assert executor._pool is None
+
+    def test_context_manager_terminates_on_error(self):
+        engine = SoftwareEngine()
+        with pytest.raises(RuntimeError, match="boom"):
+            with ParallelExecutor(workers=2, min_inline_items=1) as executor:
+                executor.refine_pairs(engine, "intersect", _items(64))
+                raise RuntimeError("boom")
+        assert executor._pool is None
+
+    def test_terminate_is_idempotent(self):
+        executor = ParallelExecutor(workers=2, min_inline_items=1)
+        executor.refine_pairs(SoftwareEngine(), "intersect", _items(64))
+        executor.terminate()
+        executor.terminate()
+        assert executor._pool is None
+
+
+class TestWorkerInitFailure:
+    def test_bad_spec_propagates_instead_of_hanging(self):
+        # A Pool whose initializer raises respawns workers forever and
+        # map() hangs; the fixed initializer stores the error and the
+        # first task re-raises it, which propagates through map().
+        executor = ParallelExecutor(workers=2)
+        bad_spec = EngineSpec(kind="definitely-not-an-engine")
+        pool = executor._pool_for(bad_spec)
+        tasks = [("intersect", None, _items(4), False, False)]
+        with pytest.raises(RuntimeError, match="initializer failed"):
+            pool.map(_refine_shard, tasks)
+        executor.terminate()
+
+    def test_failed_batch_tears_pool_down(self, monkeypatch):
+        executor = ParallelExecutor(workers=2, min_inline_items=1)
+        engine = SoftwareEngine()
+        items = _items(64)
+        executor.refine_pairs(engine, "intersect", items)
+        assert executor._pool is not None
+
+        class _ExplodingPool:
+            def map(self, fn, tasks):
+                raise RuntimeError("worker died")
+
+        monkeypatch.setattr(executor, "_pool_for", lambda spec: _ExplodingPool())
+        with pytest.raises(RuntimeError, match="worker died"):
+            executor.refine_pairs(engine, "intersect", items)
+        # The error path must hard-reset the (real) pool state.
+        assert executor._pool is None

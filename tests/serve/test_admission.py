@@ -1,0 +1,88 @@
+"""Admission-control tests: bounds, accounting, locked gauge publication."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.admission import AdmissionConfig, AdmissionController
+
+
+class TestAdmissionConfig:
+    def test_rejects_negative_queue(self):
+        with pytest.raises(ValueError, match="max_queue"):
+            AdmissionConfig(max_queue=-1)
+
+    def test_rejects_nonpositive_timeout(self):
+        with pytest.raises(ValueError, match="timeout_s"):
+            AdmissionConfig(timeout_s=0.0)
+
+    def test_none_timeout_means_wait_forever(self):
+        assert AdmissionConfig(timeout_s=None).timeout_s is None
+
+
+class TestAdmissionController:
+    def test_sheds_beyond_queue_bound(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=2))
+        assert ctl.try_admit()
+        assert ctl.try_admit()
+        assert not ctl.try_admit()  # third arrival is shed
+        ctl.start_execution()
+        assert ctl.try_admit()  # queue slot freed by the checkout
+
+    def test_zero_queue_sheds_everything(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=0))
+        assert not ctl.try_admit()
+
+    def test_full_lifecycle_returns_to_zero(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=4))
+        assert ctl.try_admit()
+        ctl.start_execution()
+        ctl.finish_execution()
+        assert ctl.queue_depth == 0
+        assert ctl.inflight == 0
+
+    def test_abandon_returns_queue_slot(self):
+        ctl = AdmissionController(AdmissionConfig(max_queue=1))
+        assert ctl.try_admit()
+        assert not ctl.try_admit()
+        ctl.abandon_queue()
+        assert ctl.try_admit()
+
+    def test_gauges_published_under_lock(self):
+        registry = MetricsRegistry()
+        ctl = AdmissionController(AdmissionConfig(max_queue=8), registry=registry)
+        ctl.try_admit()
+        assert registry.gauge("serve_queue_depth").value == 1
+        ctl.start_execution()
+        assert registry.gauge("serve_queue_depth").value == 0
+        assert registry.gauge("serve_inflight").value == 1
+        ctl.finish_execution()
+        assert registry.gauge("serve_inflight").value == 0
+
+    def test_gauges_drain_to_zero_under_concurrency(self):
+        # The property the CI baseline depends on: after every admitted
+        # request finishes, the final published gauge values are exactly
+        # 0 - no stale out-of-order write survives.
+        registry = MetricsRegistry()
+        ctl = AdmissionController(
+            AdmissionConfig(max_queue=10_000), registry=registry
+        )
+        barrier = threading.Barrier(8)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(200):
+                assert ctl.try_admit()
+                ctl.start_execution()
+                ctl.finish_execution()
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ctl.queue_depth == 0
+        assert ctl.inflight == 0
+        assert registry.gauge("serve_queue_depth").value == 0
+        assert registry.gauge("serve_inflight").value == 0

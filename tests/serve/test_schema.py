@@ -1,0 +1,95 @@
+"""Wire-schema tests: validation, round-trips, canonical result payloads."""
+
+import pytest
+
+from repro.serve.schema import (
+    REQUEST_SCHEMA,
+    QueryRequest,
+    QueryResponse,
+    canonical_results,
+)
+
+
+class TestQueryRequest:
+    def test_selection_round_trip(self):
+        req = QueryRequest(op="selection", query_index=7, request_id="r1")
+        assert QueryRequest.from_dict(req.to_dict()) == req
+
+    def test_within_distance_round_trip(self):
+        req = QueryRequest(op="within_distance", distance=0.25)
+        assert QueryRequest.from_dict(req.to_dict()) == req
+
+    def test_join_takes_no_parameters(self):
+        assert QueryRequest(op="join").to_dict() == {
+            "schema": REQUEST_SCHEMA,
+            "op": "join",
+        }
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"op": "nope"},
+            {"op": "selection"},  # missing query_index
+            {"op": "selection", "query_index": -1},
+            {"op": "join", "query_index": 2},  # cross-field
+            {"op": "join", "distance": 1.0},
+            {"op": "within_distance"},  # missing distance
+            {"op": "within_distance", "distance": -0.5},
+            {"op": "within_distance", "distance": float("nan")},
+            {"op": "selection", "query_index": 1, "distance": 1.0},
+        ],
+    )
+    def test_invalid_requests_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            QueryRequest(**kwargs)
+
+    def test_from_dict_rejects_unknown_schema(self):
+        with pytest.raises(ValueError, match="unsupported request schema"):
+            QueryRequest.from_dict({"schema": "nope@9", "op": "join"})
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request field"):
+            QueryRequest.from_dict({"op": "join", "surprise": 1})
+
+    def test_from_dict_requires_op(self):
+        with pytest.raises(ValueError, match="missing 'op'"):
+            QueryRequest.from_dict({})
+
+
+class TestQueryResponse:
+    def test_round_trip(self):
+        resp = QueryResponse(
+            status="ok",
+            op="selection",
+            results=[1, 2, 3],
+            request_id="r9",
+            worker=1,
+            wait_s=0.001,
+            exec_s=0.02,
+            total_s=0.021,
+        )
+        back = QueryResponse.from_dict(resp.to_dict())
+        assert back.status == "ok"
+        assert back.results == [1, 2, 3]
+        assert back.request_id == "r9"
+        assert back.worker == 1
+
+    def test_rejects_unknown_status(self):
+        with pytest.raises(ValueError, match="unknown status"):
+            QueryResponse(status="maybe", op="join")
+
+    def test_result_count(self):
+        assert QueryResponse(status="ok", op="join", results=[]).result_count == 0
+        assert QueryResponse(status="shed", op="join").result_count is None
+
+    def test_to_dict_canonicalizes_tuples(self):
+        resp = QueryResponse(status="ok", op="join", results=[(0, 3), (1, 4)])
+        assert resp.to_dict()["results"] == [[0, 3], [1, 4]]
+
+
+class TestCanonicalResults:
+    def test_tuples_become_lists(self):
+        assert canonical_results([(1, 2), (3, 4)]) == [[1, 2], [3, 4]]
+
+    def test_plain_ids_pass_through(self):
+        assert canonical_results([5, 6, 7]) == [5, 6, 7]

@@ -1,0 +1,155 @@
+"""TCP JSON-lines front-end tests: protocol kinds, errors, shutdown."""
+
+import asyncio
+import json
+import threading
+
+from repro.serve import QueryService, ServeFrontend, send_envelope
+from repro.serve.server import MAX_LINE_BYTES
+
+
+def _with_frontend(service, client_fn):
+    """Run the frontend in an event loop, the client in a thread."""
+    results = {}
+
+    async def main():
+        frontend = ServeFrontend(service)
+        host, port = await frontend.start()
+        thread = threading.Thread(
+            target=lambda: results.update(client_fn(host, port))
+        )
+        thread.start()
+        await asyncio.wait_for(frontend.serve_until_shutdown(), timeout=60)
+        await frontend.stop()
+        thread.join()
+
+    asyncio.run(main())
+    return results
+
+
+class TestProtocol:
+    def test_full_conversation(self, service):
+        def client(host, port):
+            out = {}
+            out["ping"] = send_envelope(host, port, {"kind": "ping"})
+            out["describe"] = send_envelope(host, port, {"kind": "describe"})
+            out["query"] = send_envelope(
+                host,
+                port,
+                {
+                    "kind": "query",
+                    "request": {"op": "selection", "query_index": 1},
+                },
+            )
+            out["metrics"] = send_envelope(host, port, {"kind": "metrics"})
+            out["shutdown"] = send_envelope(host, port, {"kind": "shutdown"})
+            return out
+
+        res = _with_frontend(service, client)
+        assert res["ping"] == {"kind": "pong"}
+        assert res["describe"]["info"]["workers"] == 2
+        response = res["query"]["response"]
+        assert response["status"] == "ok"
+        assert response["schema"] == "repro.serve/response@1"
+        assert "serve_requests" in res["metrics"]["text"]
+        assert res["shutdown"] == {"kind": "shutdown-ack"}
+
+    def test_response_matches_direct_submit(self, service):
+        from repro.serve import QueryRequest, canonical_results
+
+        direct = service.submit(QueryRequest(op="selection", query_index=2))
+
+        def client(host, port):
+            reply = send_envelope(
+                host,
+                port,
+                {
+                    "kind": "query",
+                    "request": {"op": "selection", "query_index": 2},
+                },
+            )
+            send_envelope(host, port, {"kind": "shutdown"})
+            return {"reply": reply}
+
+        res = _with_frontend(service, client)
+        assert res["reply"]["response"]["results"] == canonical_results(
+            direct.results
+        )
+
+
+class TestErrors:
+    def test_bad_json_and_bad_request(self, service):
+        def client(host, port):
+            out = {}
+            import socket
+
+            with socket.create_connection((host, port), timeout=30) as conn:
+                conn.sendall(b"this is not json\n")
+                out["bad_json"] = json.loads(conn.makefile().readline())
+            out["bad_kind"] = send_envelope(host, port, {"kind": "dance"})
+            out["bad_request"] = send_envelope(
+                host, port, {"kind": "query", "request": {"op": "nope"}}
+            )
+            out["not_object"] = send_envelope(host, port, [1, 2, 3])
+            send_envelope(host, port, {"kind": "shutdown"})
+            return out
+
+        res = _with_frontend(service, client)
+        assert res["bad_json"]["kind"] == "error"
+        assert "unknown kind" in res["bad_kind"]["error"]
+        assert "bad request" in res["bad_request"]["error"]
+        assert "JSON object" in res["not_object"]["error"]
+
+    def test_execution_error_is_an_ok_envelope(self, service):
+        # A failing query is a normal response envelope with
+        # status="error", not a protocol-level error.
+        def client(host, port):
+            reply = send_envelope(
+                host,
+                port,
+                {
+                    "kind": "query",
+                    "request": {"op": "selection", "query_index": 12345},
+                },
+            )
+            send_envelope(host, port, {"kind": "shutdown"})
+            return {"reply": reply}
+
+        res = _with_frontend(service, client)
+        assert res["reply"]["kind"] == "response"
+        assert res["reply"]["response"]["status"] == "error"
+
+
+class TestConcurrentConnections:
+    def test_parallel_clients(self, service):
+        def client(host, port):
+            replies = [None] * 6
+
+            def one(idx):
+                replies[idx] = send_envelope(
+                    host,
+                    port,
+                    {
+                        "kind": "query",
+                        "request": {"op": "selection", "query_index": idx},
+                    },
+                )
+
+            threads = [
+                threading.Thread(target=one, args=(i,)) for i in range(6)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            send_envelope(host, port, {"kind": "shutdown"})
+            return {"replies": replies}
+
+        res = _with_frontend(service, client)
+        assert all(
+            r["response"]["status"] == "ok" for r in res["replies"]
+        )
+
+
+def test_max_line_bytes_constant_is_sane():
+    assert MAX_LINE_BYTES >= 65536
