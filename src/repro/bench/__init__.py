@@ -30,6 +30,7 @@ from .experiments import (
     ext_distance_field,
     ext_voronoi_nn,
     fig16_distance_sweep,
+    interval_filter,
     table2,
 )
 from .result import ExperimentResult
@@ -61,5 +62,6 @@ __all__ = [
     "ext_voronoi_nn",
     "fig16_distance_sweep",
     "get_scale",
+    "interval_filter",
     "table2",
 ]

@@ -1,20 +1,26 @@
-"""Intermediate (runtime) filters: interior filter and 0/1-Object filters.
+"""Intermediate filters: runtime filters and the interval second filter.
 
-These are the paper's section 4.1.1 runtime filters - they need no
-pre-processing or index changes, only MBRs and (for the 1-Object filter)
-one retrieved geometry, so they combine freely with the hardware-assisted
-refinement step.
+The runtime filters are the paper's section 4.1.1 intermediate filters -
+they need no pre-processing or index changes, only MBRs and (for the
+1-Object filter) one retrieved geometry, so they combine freely with the
+hardware-assisted refinement step.  The interval filter
+(:mod:`repro.filters.intervals`) is the pre-processed family: per-polygon
+sorted-interval encodings on a pair-common grid, built once per dataset,
+deciding candidate pairs with pure interval algebra before any rendering.
 """
 
 from .interior import InteriorFilter
+from .intervals import (
+    DEFAULT_INTERVAL_LEVEL,
+    IntervalApproximation,
+    IntervalFilterStats,
+    IntervalGrid,
+    IntervalIndex,
+    IntervalVerdict,
+    classify_intervals,
+)
 from .mer import EnclosedRectangleFilter, MerStats, largest_true_rectangle
 from .progressive import ConvexHullFilter, HullFilterStats
-from .raster_approx import (
-    RasterApproximation,
-    RasterFilterStats,
-    TileVerdict,
-    classify_pair,
-)
 from .object_filters import (
     one_object_upper_bound,
     pair_distance_upper_bound,
@@ -23,14 +29,17 @@ from .object_filters import (
 
 __all__ = [
     "ConvexHullFilter",
+    "DEFAULT_INTERVAL_LEVEL",
     "EnclosedRectangleFilter",
     "HullFilterStats",
     "InteriorFilter",
+    "IntervalApproximation",
+    "IntervalFilterStats",
+    "IntervalGrid",
+    "IntervalIndex",
+    "IntervalVerdict",
     "MerStats",
-    "RasterApproximation",
-    "RasterFilterStats",
-    "TileVerdict",
-    "classify_pair",
+    "classify_intervals",
     "largest_true_rectangle",
     "one_object_upper_bound",
     "pair_distance_upper_bound",

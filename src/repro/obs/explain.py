@@ -12,6 +12,12 @@ funnel, with every candidate attributed to exactly one resolving stage:
     pairs admitted by the MBR/index stage (``cost.candidates_after_mbr``);
 ``interior_filter_hits``
     resolved by the intermediate (interior) filter before refinement;
+``interval_proven_intersecting``
+    proved intersecting by the raster-interval second filter (a shared
+    FULL cell on the pair-common grid) - positives without refinement;
+``interval_proven_disjoint``
+    proved disjoint by the interval filter (no shared non-EMPTY cell) -
+    dropped without refinement;
 ``refined``
     pairs handed to the refinement loop (``cost.pairs_compared``);
 ``prefilter_drops``
@@ -41,7 +47,8 @@ Three identities tie the stages together, and :meth:`QueryFunnel.check`
 enforces them (``python -m repro.obs explain`` exits non-zero on any
 violation):
 
-* ``candidates == interior_filter_hits + refined``
+* ``candidates == interior_filter_hits + interval_proven_intersecting
+  + interval_proven_disjoint + refined``
 * ``refined == prefilter_drops + pip_resolved + hw_proven_disjoint
   + sw_exact``
 * ``sw_exact == threshold_skipped + hw_needs_sweep
@@ -69,6 +76,8 @@ EXPLAIN_SCHEMA = "repro.obs/explain@1"
 FUNNEL_STAGES = (
     "candidates",
     "interior_filter_hits",
+    "interval_proven_intersecting",
+    "interval_proven_disjoint",
     "refined",
     "prefilter_drops",
     "pip_resolved",
@@ -107,6 +116,8 @@ class QueryFunnel:
     pipeline: str
     candidates: float = 0
     interior_filter_hits: float = 0
+    interval_proven_intersecting: float = 0
+    interval_proven_disjoint: float = 0
     refined: float = 0
     prefilter_drops: float = 0
     pip_resolved: float = 0
@@ -143,9 +154,14 @@ class QueryFunnel:
         """Violated funnel identities (empty when the funnel is exact)."""
         identities: Tuple[Tuple[str, float, float], ...] = (
             (
-                "candidates == interior_filter_hits + refined",
+                "candidates == interior_filter_hits"
+                " + interval_proven_intersecting"
+                " + interval_proven_disjoint + refined",
                 self.candidates,
-                self.interior_filter_hits + self.refined,
+                self.interior_filter_hits
+                + self.interval_proven_intersecting
+                + self.interval_proven_disjoint
+                + self.refined,
             ),
             (
                 "refined == prefilter_drops + pip_resolved"
@@ -228,6 +244,8 @@ def funnel_from_deltas(
     if cost is not None:
         funnel.candidates = cost.candidates_after_mbr
         funnel.interior_filter_hits = cost.filter_positives
+        funnel.interval_proven_intersecting = getattr(cost, "interval_hits", 0)
+        funnel.interval_proven_disjoint = getattr(cost, "interval_drops", 0)
         funnel.refined = cost.pairs_compared
         funnel.results = cost.results
         funnel.stage_seconds = {
@@ -304,6 +322,8 @@ def funnels_from_snapshot(
     if cost_count:
         funnel.candidates = cost_count.get("candidates_after_mbr", 0)
         funnel.interior_filter_hits = cost_count.get("filter_positives", 0)
+        funnel.interval_proven_intersecting = cost_count.get("interval_hits", 0)
+        funnel.interval_proven_disjoint = cost_count.get("interval_drops", 0)
         funnel.refined = cost_count.get("pairs_compared", 0)
         funnel.results = cost_count.get("results", 0)
     return {"(all)": funnel}
@@ -328,6 +348,18 @@ def render_funnel(funnel: QueryFunnel) -> str:
 
     row("  ", "candidates after MBR/index", f.candidates, f.candidates)
     row("    ", "interior filter hits", f.interior_filter_hits, f.candidates)
+    row(
+        "    ",
+        "interval proven intersecting",
+        f.interval_proven_intersecting,
+        f.candidates,
+    )
+    row(
+        "    ",
+        "interval proven disjoint",
+        f.interval_proven_disjoint,
+        f.candidates,
+    )
     row("    ", "refined", f.refined, f.candidates)
     row("      ", "prefilter drops", f.prefilter_drops, f.refined)
     row("      ", "PIP resolved", f.pip_resolved, f.refined)

@@ -37,6 +37,8 @@ from .metrics import MetricsRegistry, current_registry
 COST_COUNT_FIELDS = (
     "candidates_after_mbr",
     "filter_positives",
+    "interval_hits",
+    "interval_drops",
     "pairs_compared",
     "results",
 )
@@ -69,7 +71,7 @@ class PipelineObserver:
         reg = self.registry
         reg.counter("pipeline_runs", pipeline=self.pipeline).inc()
         for field in COST_COUNT_FIELDS:
-            value = getattr(cost, field)
+            value = getattr(cost, field, 0)
             if value:
                 reg.counter("cost_count", field=field).inc(value)
         reg.histogram("candidates_after_mbr", pipeline=self.pipeline).observe(
@@ -92,6 +94,8 @@ class PipelineObserver:
         funnel = {
             "candidates": cost.candidates_after_mbr,
             "interior_filter_hits": cost.filter_positives,
+            "interval_proven_intersecting": getattr(cost, "interval_hits", 0),
+            "interval_proven_disjoint": getattr(cost, "interval_drops", 0),
             "refined": cost.pairs_compared,
             "prefilter_drops": deltas.get("prefilter_drops", 0),
             "pip_resolved": deltas.get("pip_hits", 0),

@@ -30,6 +30,10 @@ class CostBreakdown:
     # holds float averages in the same fields.
     candidates_after_mbr: float = 0
     filter_positives: float = 0
+    #: Candidates the interval filter proved INTERSECTING (positives
+    #: without refinement) / DISJOINT (dropped without refinement).
+    interval_hits: float = 0
+    interval_drops: float = 0
     pairs_compared: float = 0
     results: float = 0
 
@@ -45,6 +49,8 @@ class CostBreakdown:
         self.geometry_s += other.geometry_s
         self.candidates_after_mbr += other.candidates_after_mbr
         self.filter_positives += other.filter_positives
+        self.interval_hits += other.interval_hits
+        self.interval_drops += other.interval_drops
         self.pairs_compared += other.pairs_compared
         self.results += other.results
 
@@ -62,6 +68,8 @@ class CostBreakdown:
             geometry_s=self.geometry_s * factor,
             candidates_after_mbr=self.candidates_after_mbr * factor,
             filter_positives=self.filter_positives * factor,
+            interval_hits=self.interval_hits * factor,
+            interval_drops=self.interval_drops * factor,
             pairs_compared=self.pairs_compared * factor,
             results=self.results * factor,
         )

@@ -7,7 +7,9 @@ pipeline follows Figure 8:
 1. **MBR filtering** - an STR-packed R-tree window query with the query
    polygon's MBR;
 2. **intermediate filtering** (optional) - the interior filter at a chosen
-   tiling level identifies containment positives without geometry access;
+   tiling level identifies containment positives without geometry access,
+   and/or the raster-interval filter (``use_intervals``) settles candidates
+   in both directions with precomputed interval encodings - render-free;
 3. **geometry comparison** - the refinement engine (software or hardware)
    decides the remaining candidates.
 """
@@ -21,6 +23,12 @@ from ..core.engine import RefinementEngine
 from ..datasets.dataset import SpatialDataset
 from ..exec.parallel import ParallelExecutor
 from ..filters.interior import InteriorFilter
+from ..filters.intervals import (
+    DEFAULT_INTERVAL_LEVEL,
+    IntervalIndex,
+    IntervalVerdict,
+    classify_intervals,
+)
 from ..geometry.polygon import Polygon
 from ..index.str_pack import str_bulk_load
 from ..obs.instrument import observe_pipeline
@@ -49,12 +57,23 @@ class IntersectionSelection:
         interior_level: Optional[int] = None,
         executor: Optional[ParallelExecutor] = None,
         use_batch: bool = True,
+        use_intervals: bool = False,
+        interval_level: int = DEFAULT_INTERVAL_LEVEL,
     ) -> None:
         if interior_level is not None and interior_level < 0:
             raise ValueError("interior_level must be >= 0")
         self.dataset = dataset
         self.engine = engine
         self.interior_level = interior_level
+        #: Render-free second filter (off by default, like ``use_batch`` a
+        #: pure knob: results are bit-identical either way).  Dataset
+        #: encodings precompute here, at build time; query polygons encode
+        #: on first sight and memoize by content digest.
+        self.intervals: Optional[IntervalIndex] = (
+            IntervalIndex.for_datasets([dataset], level=interval_level)
+            if use_intervals
+            else None
+        )
         #: Optional parallel batch executor for the geometry stage
         #: (identical results/stats to the serial loop).
         self.executor = executor
@@ -88,6 +107,27 @@ class IntersectionSelection:
                     else:
                         remaining.append(i)
             cost.filter_positives = len(positives)
+
+        if self.intervals is not None:
+            # The interval second filter: settle candidates in both
+            # directions with precomputed encodings, no rendering.  Runs
+            # before the geometry stage dispatch, so the serial, batched,
+            # and sharded paths all refine the identical UNKNOWN set.
+            with cost.time_stage("intermediate_filter"):
+                query_enc = self.intervals.encode(query)
+                undecided: List[int] = []
+                for i in remaining:
+                    verdict = classify_intervals(
+                        query_enc, self.intervals.encode(self.dataset.polygons[i])
+                    )
+                    if verdict is IntervalVerdict.INTERSECTING:
+                        positives.append(i)
+                        cost.interval_hits += 1
+                    elif verdict is IntervalVerdict.DISJOINT:
+                        cost.interval_drops += 1
+                    else:
+                        undecided.append(i)
+                remaining = undecided
 
         with cost.time_stage("geometry"):
             if self.executor is not None:

@@ -17,6 +17,7 @@ from typing import List, Optional
 
 from ..bench.scales import DEFAULT_SCALE, SCALES
 from ..cache import CacheConfig
+from ..filters.intervals import DEFAULT_INTERVAL_LEVEL
 from ..obs.runreport import write_run_report
 from .admission import AdmissionConfig
 from .engine import BACKENDS, WorkloadConfig
@@ -63,6 +64,19 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         help="process-pool width per engine for --backend sharded (default: 2)",
     )
     parser.add_argument(
+        "--intervals",
+        action="store_true",
+        help="enable the raster-interval second filter on the selection "
+        "and join pipelines (results are bit-identical either way)",
+    )
+    parser.add_argument(
+        "--interval-level",
+        type=int,
+        default=DEFAULT_INTERVAL_LEVEL,
+        help="interval-filter grid refinement: 2^level cells per side "
+        f"(default: {DEFAULT_INTERVAL_LEVEL})",
+    )
+    parser.add_argument(
         "--cache",
         action="store_true",
         help="enable the repro.cache memoization layers (default: off; "
@@ -97,6 +111,8 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         backend=args.backend,
         shard_workers=args.shard_workers,
         cache=CacheConfig() if args.cache else CacheConfig.disabled(),
+        use_intervals=args.intervals,
+        interval_level=args.interval_level,
     )
     admission = AdmissionConfig(max_queue=args.max_queue, timeout_s=args.timeout)
     return QueryService(

@@ -47,6 +47,7 @@ from ..core.config import HardwareConfig
 from ..core.engine import HardwareEngine, RefinementEngine, SoftwareEngine
 from ..datasets import base_distance
 from ..exec.parallel import ParallelExecutor
+from ..filters.intervals import DEFAULT_INTERVAL_LEVEL
 from ..query.costs import CostBreakdown
 from ..query.join import IntersectionJoin
 from ..query.selection import IntersectionSelection
@@ -77,6 +78,11 @@ class WorkloadConfig:
     cache: CacheConfig = CacheConfig.disabled()
     #: Selection intermediate filter level (None = off, the default).
     interior_level: Optional[int] = None
+    #: Raster-interval second filter on the intersection selection/join
+    #: pipelines (off by default; results are bit-identical either way).
+    use_intervals: bool = False
+    #: Grid refinement of the interval filter (2^level cells per side).
+    interval_level: int = DEFAULT_INTERVAL_LEVEL
 
     def __post_init__(self) -> None:
         if self.engine not in ("hardware", "software"):
@@ -90,6 +96,10 @@ class WorkloadConfig:
         if self.shard_workers < 1:
             raise ValueError(
                 f"shard_workers must be >= 1, got {self.shard_workers}"
+            )
+        if not 0 <= self.interval_level <= 12:
+            raise ValueError(
+                f"interval_level must be in [0, 12], got {self.interval_level}"
             )
 
     def build_engine(self) -> RefinementEngine:
@@ -122,6 +132,7 @@ class ServingWorkload:
             "scale": self.config.scale,
             "engine": self.config.engine,
             "backend": self.config.backend,
+            "use_intervals": self.config.use_intervals,
             "selection_objects": len(self.selection_data.polygons),
             "query_set": len(self.queries),
             "join_a_objects": len(self.join_a.polygons),
@@ -152,6 +163,8 @@ class ServingEngine:
             interior_level=config.interior_level,
             executor=self.executor,
             use_batch=use_batch,
+            use_intervals=config.use_intervals,
+            interval_level=config.interval_level,
         )
         self.join = IntersectionJoin(
             workload.join_a,
@@ -159,6 +172,8 @@ class ServingEngine:
             self.engine,
             executor=self.executor,
             use_batch=use_batch,
+            use_intervals=config.use_intervals,
+            interval_level=config.interval_level,
         )
         self.within = WithinDistanceJoin(
             workload.join_a,

@@ -45,6 +45,7 @@ class TestRegistry:
             "exec-parallel",
             "batch-refine",
             "cache",
+            "intervals",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -55,12 +55,30 @@ class TestQueryFunnelUnits:
             results=3,
         )
 
+    def balanced_with_intervals(self):
+        """Same funnel, with three candidates resolved interval-side."""
+        funnel = self.balanced()
+        funnel.candidates += 3
+        funnel.interval_proven_intersecting = 2
+        funnel.interval_proven_disjoint = 1
+        return funnel
+
     def test_identities_hold_for_balanced_funnel(self):
         assert self.balanced().check() == []
+
+    def test_identities_hold_with_interval_stages(self):
+        assert self.balanced_with_intervals().check() == []
+
+    def test_interval_stages_render(self):
+        text = render_funnel(self.balanced_with_intervals())
+        assert "interval proven intersecting" in text
+        assert "interval proven disjoint" in text
 
     def test_each_identity_detected_when_broken(self):
         for stage, fragment in (
             ("interior_filter_hits", "candidates =="),
+            ("interval_proven_intersecting", "candidates =="),
+            ("interval_proven_disjoint", "candidates =="),
             ("pip_resolved", "refined =="),
             ("threshold_skipped", "sw_exact =="),
         ):
@@ -257,6 +275,25 @@ class TestFunnelsFromSnapshot:
         assert set(funnels) == {"(all)"}
         assert funnels["(all)"].hw_needs_sweep == 3
         assert funnels["(all)"].check() == []
+
+    def test_fallback_carries_interval_counters(self):
+        snapshot = {
+            "counters": {
+                "refinement{field=pairs_tested}": 4,
+                "refinement{field=hw_tests}": 4,
+                "refinement{field=hw_rejects}": 1,
+                "refinement{field=sw_segment_tests}": 3,
+                "cost_count{field=candidates_after_mbr}": 7,
+                "cost_count{field=interval_hits}": 2,
+                "cost_count{field=interval_drops}": 1,
+                "cost_count{field=pairs_compared}": 4,
+                "cost_count{field=results}": 4,
+            }
+        }
+        funnel = funnels_from_snapshot(snapshot)["(all)"]
+        assert funnel.interval_proven_intersecting == 2
+        assert funnel.interval_proven_disjoint == 1
+        assert funnel.check() == []
 
     def test_empty_snapshot_yields_no_funnels(self):
         assert funnels_from_snapshot({"counters": {}}) == {}

@@ -1,0 +1,172 @@
+"""The interval second filter must change work, never answers.
+
+The filter sits between the MBR stage and refinement, so every pair it
+resolves is a pair the hardware never sees - but resolved pairs must be
+resolved *correctly* (the certificates are proofs, property-tested in
+``tests/filters/test_intervals.py``) and the surviving UNKNOWN set is
+identical by construction across the serial, batched, and sharded
+geometry backends.  These tests pin all of that at the pipeline level:
+filter-on result ids equal filter-off ids; with the filter on, the
+refinement stats and explain funnels are bit-identical across backends
+and overlap methods; the funnel identities stay exact in both
+configurations; and the filter actually cuts hardware tests on a join.
+"""
+
+import pytest
+
+from repro.core import OVERLAP_METHODS, HardwareConfig, HardwareEngine
+from repro.exec import ParallelExecutor
+from repro.obs.explain import explain_run, funnels_from_snapshot
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.query import IntersectionJoin, IntersectionSelection
+
+RESOLUTION = 8
+LEVEL = 6
+
+
+def _engine(method="accum"):
+    return HardwareEngine(HardwareConfig(resolution=RESOLUTION, method=method))
+
+
+@pytest.fixture(scope="module")
+def shared_executor():
+    executor = ParallelExecutor(workers=2)
+    yield executor
+    executor.close()
+
+
+def _selection_pipeline(dataset, engine, backend, executor, use_intervals):
+    return IntersectionSelection(
+        dataset,
+        engine,
+        executor=executor if backend == "sharded" else None,
+        use_batch=backend == "batched",
+        use_intervals=use_intervals,
+        interval_level=LEVEL,
+    )
+
+
+def _join_pipeline(ds_a, ds_b, engine, backend, executor, use_intervals):
+    return IntersectionJoin(
+        ds_a,
+        ds_b,
+        engine,
+        executor=executor if backend == "sharded" else None,
+        use_batch=backend == "batched",
+        use_intervals=use_intervals,
+        interval_level=LEVEL,
+    )
+
+
+class TestAnswersUnchanged:
+    def test_selection_ids_identical(self, dataset_a, dataset_b):
+        queries = dataset_b.polygons[:8]
+        off = _selection_pipeline(dataset_a, _engine(), "serial", None, False)
+        on = _selection_pipeline(dataset_a, _engine(), "serial", None, True)
+        for query in queries:
+            assert on.run(query).ids == off.run(query).ids
+
+    def test_join_pairs_identical(self, dataset_a, dataset_b):
+        off = _join_pipeline(dataset_a, dataset_b, _engine(), "serial", None, False)
+        on = _join_pipeline(dataset_a, dataset_b, _engine(), "serial", None, True)
+        assert on.run().pairs == off.run().pairs
+
+    def test_join_funnel_identities_both_configs(self, dataset_a, dataset_b):
+        for use_intervals in (False, True):
+            engine = _engine()
+            join = _join_pipeline(
+                dataset_a, dataset_b, engine, "serial", None, use_intervals
+            )
+            _, funnel = explain_run("join", engine, join.run)
+            assert not funnel.check(), funnel.check()
+            if use_intervals:
+                assert (
+                    funnel.interval_proven_intersecting
+                    + funnel.interval_proven_disjoint
+                    > 0
+                )
+
+    def test_selection_funnel_identities_both_configs(self, dataset_a, dataset_b):
+        query = dataset_b.polygons[0]
+        for use_intervals in (False, True):
+            engine = _engine()
+            selection = _selection_pipeline(
+                dataset_a, engine, "serial", None, use_intervals
+            )
+            _, funnel = explain_run(
+                "selection", engine, lambda: selection.run(query)
+            )
+            assert not funnel.check(), funnel.check()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("method", OVERLAP_METHODS)
+    def test_join_stats_and_funnels_identical(
+        self, dataset_a, dataset_b, shared_executor, method
+    ):
+        pairs = {}
+        stats = {}
+        snapshots = {}
+        for backend in ("serial", "batched", "sharded"):
+            engine = _engine(method)
+            registry = MetricsRegistry()
+            join = _join_pipeline(
+                dataset_a, dataset_b, engine, backend, shared_executor, True
+            )
+            with use_registry(registry):
+                pairs[backend] = join.run().pairs
+            stats[backend] = engine.stats
+            snapshots[backend] = registry.snapshot()
+        assert pairs["serial"] == pairs["batched"] == pairs["sharded"]
+        assert stats["serial"] == stats["batched"] == stats["sharded"]
+        funnels = {
+            backend: funnels_from_snapshot(snap)
+            for backend, snap in snapshots.items()
+        }
+        assert funnels["serial"] == funnels["batched"] == funnels["sharded"]
+
+    def test_selection_stats_and_funnels_identical(
+        self, dataset_a, dataset_b, shared_executor
+    ):
+        queries = dataset_b.polygons[:5]
+        ids = {}
+        stats = {}
+        snapshots = {}
+        for backend in ("serial", "batched", "sharded"):
+            engine = _engine()
+            registry = MetricsRegistry()
+            selection = _selection_pipeline(
+                dataset_a, engine, backend, shared_executor, True
+            )
+            with use_registry(registry):
+                ids[backend] = [selection.run(q).ids for q in queries]
+            stats[backend] = engine.stats
+            snapshots[backend] = registry.snapshot()
+        assert ids["serial"] == ids["batched"] == ids["sharded"]
+        assert stats["serial"] == stats["batched"] == stats["sharded"]
+        funnels = {
+            backend: funnels_from_snapshot(snap)
+            for backend, snap in snapshots.items()
+        }
+        assert funnels["serial"] == funnels["batched"] == funnels["sharded"]
+
+
+class TestWorkReduction:
+    def test_join_hw_tests_drop(self, dataset_a, dataset_b):
+        off_engine = _engine()
+        _join_pipeline(
+            dataset_a, dataset_b, off_engine, "serial", None, False
+        ).run()
+        on_engine = _engine()
+        result = _join_pipeline(
+            dataset_a, dataset_b, on_engine, "serial", None, True
+        ).run()
+        assert on_engine.stats.hw_tests < off_engine.stats.hw_tests
+        assert result.cost.interval_hits + result.cost.interval_drops > 0
+
+    def test_interval_costs_zero_when_off(self, dataset_a, dataset_b):
+        result = _join_pipeline(
+            dataset_a, dataset_b, _engine(), "serial", None, False
+        ).run()
+        assert result.cost.interval_hits == 0
+        assert result.cost.interval_drops == 0

@@ -63,6 +63,35 @@ class TestBitIdentityAcrossBackends:
         finally:
             svc.close()
 
+    def test_interval_filter_matches_direct_calls(self, workload, reference):
+        """The interval second filter changes work, never answers: an
+        intervals-on service must answer exactly like the intervals-off
+        reference engine."""
+        svc = QueryService(
+            workload=WorkloadConfig(use_intervals=True),
+            workers=1,
+            admission=AdmissionConfig(max_queue=1000),
+        )
+        try:
+            assert svc.describe()["use_intervals"] is True
+            for request in (
+                QueryRequest(op="selection", query_index=0),
+                QueryRequest(op="join"),
+            ):
+                resp = svc.submit(request)
+                assert resp.status == "ok"
+                assert canonical_results(resp.results) == _direct(
+                    reference, request
+                )
+        finally:
+            svc.close()
+
+    def test_interval_level_validated(self):
+        with pytest.raises(ValueError, match="interval_level"):
+            WorkloadConfig(interval_level=13)
+        with pytest.raises(ValueError, match="interval_level"):
+            WorkloadConfig(interval_level=-1)
+
     def test_sharded_backend_matches_direct_calls(self, workload, reference):
         svc = QueryService(
             workload=WorkloadConfig(backend="sharded", shard_workers=2),
