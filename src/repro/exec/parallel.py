@@ -60,6 +60,7 @@ from ..geometry.polygon import Polygon
 from ..geometry.sweep import SweepStats
 from ..gpu.costmodel import CostCounters
 from ..obs.capture import CommandRecorder, current_recorder, use_recorder
+from ..obs.context import RequestContext, current_context, use_context
 from ..obs.metrics import MetricsRegistry, current_registry, use_registry
 from .partition import partition_items, shard_count_for
 from .trace import current_tracer
@@ -130,6 +131,9 @@ class ShardResult:
     metrics: Optional[Dict[str, Any]] = None
     #: Shard-local capture events (when the coordinator has a recorder).
     capture: Optional[List[Dict[str, Any]]] = None
+    #: The request trace id this shard ran under (round-tripped through the
+    #: worker, proving the context crossed the pool boundary).
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -196,9 +200,9 @@ def _init_worker(spec: EngineSpec) -> None:
 
 
 def _refine_shard(
-    task: Tuple[str, Optional[float], Sequence[WorkItem], bool, bool],
+    task: Tuple[str, Optional[float], Sequence[WorkItem], bool, bool, Optional[str]],
 ) -> ShardResult:
-    op, distance, items, collect_metrics, collect_capture = task
+    op, distance, items, collect_metrics, collect_capture, trace_id = task
     engine = _WORKER_ENGINE
     if engine is None:
         raise RuntimeError(
@@ -222,19 +226,27 @@ def _refine_shard(
     # in shard order on the coordinator.
     shard_registry = MetricsRegistry() if collect_metrics else None
     shard_recorder = CommandRecorder() if collect_capture else None
+    # Context crosses the pool boundary explicitly (ContextVars do not
+    # survive pickling): the worker re-enters a context built from the
+    # coordinator's trace id so context-aware instrumentation inside the
+    # shard attributes its work to the originating request.
+    shard_context = (
+        RequestContext(trace_id=trace_id) if trace_id is not None else None
+    )
     start = time.perf_counter()
-    if shard_recorder is not None:
-        with use_recorder(shard_recorder):
-            if shard_registry is not None:
-                with use_registry(shard_registry):
+    with use_context(shard_context):
+        if shard_recorder is not None:
+            with use_recorder(shard_recorder):
+                if shard_registry is not None:
+                    with use_registry(shard_registry):
+                        matches = _refine_with(engine, op, distance, items)
+                else:
                     matches = _refine_with(engine, op, distance, items)
-            else:
+        elif shard_registry is not None:
+            with use_registry(shard_registry):
                 matches = _refine_with(engine, op, distance, items)
-    elif shard_registry is not None:
-        with use_registry(shard_registry):
+        else:
             matches = _refine_with(engine, op, distance, items)
-    else:
-        matches = _refine_with(engine, op, distance, items)
     elapsed = time.perf_counter() - start
     counters = (
         engine.gpu_counters.snapshot()
@@ -251,6 +263,7 @@ def _refine_shard(
         gpu_counters=counters,
         metrics=shard_registry.snapshot() if shard_registry is not None else None,
         capture=shard_recorder.events if shard_recorder is not None else None,
+        trace_id=trace_id,
     )
 
 
@@ -376,6 +389,16 @@ class ParallelExecutor:
 
         tracer = current_tracer()
         registry = current_registry()
+        context = current_context()
+        # Spans from a per-request tracer are stamped already; otherwise an
+        # active request context rides along as a span attribute so shard
+        # records stay attributable under a shared (e.g. benchmark) tracer.
+        trace_attrs: Dict[str, Any] = (
+            {"trace_id": context.trace_id}
+            if context is not None
+            and (tracer is None or tracer.trace_id != context.trace_id)
+            else {}
+        )
         shards = shard_count_for(
             len(items), self.workers, self.shards_per_worker
         )
@@ -401,6 +424,7 @@ class ParallelExecutor:
                     shard=0,
                     pairs=len(items),
                     inline=True,
+                    **trace_attrs,
                 )
             if registry is not None:
                 self._observe_shard(registry, stage, elapsed, len(items))
@@ -411,8 +435,9 @@ class ParallelExecutor:
         recorder = current_recorder()
         collect_metrics = registry is not None
         collect_capture = recorder is not None
+        trace_id = context.trace_id if context is not None else None
         tasks = [
-            (op, distance, shard, collect_metrics, collect_capture)
+            (op, distance, shard, collect_metrics, collect_capture, trace_id)
             for shard in partition_items(items, shards)
         ]
         try:
@@ -436,6 +461,7 @@ class ParallelExecutor:
                     shard=k,
                     pairs=res.pairs,
                     matches=len(res.matches),
+                    **trace_attrs,
                 )
             if registry is not None:
                 if res.metrics is not None:

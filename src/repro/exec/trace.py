@@ -47,16 +47,26 @@ class Span:
     start_unix_s: float
     duration_s: float
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Request correlation id (set when the owning tracer has one); spans
+    #: of different requests never share a trace id, which is what lets a
+    #: flat multi-request span file be regrouped per request.
+    trace_id: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        # ``attributes`` is copied: exporting by reference would let a
+        # caller that mutates the dict after export retroactively alter
+        # already-collected (but not yet serialized) spans.
+        out = {
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "name": self.name,
             "start_unix_s": self.start_unix_s,
             "duration_s": self.duration_s,
-            "attributes": self.attributes,
+            "attributes": dict(self.attributes),
         }
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True)
@@ -107,8 +117,15 @@ class Tracer:
     to the coordinating process, which records them via :meth:`record`.
     """
 
-    def __init__(self, exporter: Optional[JsonLinesExporter] = None) -> None:
+    def __init__(
+        self,
+        exporter: Optional[JsonLinesExporter] = None,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.spans: List[Span] = []
+        #: When set (the per-request tracers of :mod:`repro.serve`), every
+        #: span this tracer finishes is stamped with it.
+        self.trace_id = trace_id
         self._exporter = exporter
         self._stack: List[int] = []
         self._next_id = 1
@@ -136,6 +153,7 @@ class Tracer:
             start_unix_s=self._now_unix_s(),
             duration_s=0.0,
             attributes=dict(attributes),
+            trace_id=self.trace_id,
         )
         self._next_id += 1
         self._stack.append(span.span_id)
@@ -181,6 +199,7 @@ class Tracer:
             ),
             duration_s=duration_s,
             attributes=dict(attributes),
+            trace_id=self.trace_id,
         )
         self._next_id += 1
         self._finish(span)

@@ -18,7 +18,12 @@ time goes and a gate that fails when it regresses.
 * :mod:`repro.obs.capture` - the GPU command-stream flight recorder and
   its deterministic replayer (``python -m repro.obs replay cap.jsonl``);
 * :mod:`repro.obs.explain` - per-query EXPLAIN ANALYZE funnels over the
-  filter/refine pipeline (``python -m repro.obs explain report.json``).
+  filter/refine pipeline (``python -m repro.obs explain report.json``);
+* :mod:`repro.obs.context` - the per-request :class:`RequestContext`
+  (trace id, attributes, optional deadline) propagated through the
+  serving stack and across the shard-pool boundary;
+* :mod:`repro.obs.timeline` - Chrome trace-event export of span files
+  with worker/shard lanes (``python -m repro.obs timeline trace.jsonl``).
 """
 
 from .capture import (
@@ -33,6 +38,7 @@ from .capture import (
     use_recorder,
 )
 from .compare import Comparison, Finding, compare_reports
+from .context import RequestContext, current_context, new_trace_id, use_context
 from .explain import (
     EXPLAIN_SCHEMA,
     QueryFunnel,
@@ -52,6 +58,12 @@ from .metrics import (
     use_registry,
 )
 from .report import TraceReport, analyze, load_spans, render_report
+from .timeline import (
+    TIMELINE_SCHEMA,
+    summarize_timeline,
+    timeline_from_spans,
+    write_timeline,
+)
 from .runreport import (
     RUN_REPORT_SCHEMA,
     build_run_report,
@@ -75,10 +87,13 @@ __all__ = [
     "QueryFunnel",
     "RUN_REPORT_SCHEMA",
     "ReplayResult",
+    "RequestContext",
+    "TIMELINE_SCHEMA",
     "TraceReport",
     "analyze",
     "build_run_report",
     "compare_reports",
+    "current_context",
     "current_recorder",
     "current_registry",
     "environment_fingerprint",
@@ -90,14 +105,19 @@ __all__ = [
     "load_capture",
     "load_run_report",
     "load_spans",
+    "new_trace_id",
     "render_funnel",
     "render_funnels",
     "render_report",
     "replay_capture",
     "replay_events",
     "sections_from_snapshot",
+    "summarize_timeline",
+    "timeline_from_spans",
+    "use_context",
     "use_recorder",
     "use_registry",
     "write_explain",
     "write_run_report",
+    "write_timeline",
 ]

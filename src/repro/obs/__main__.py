@@ -3,7 +3,8 @@
 Examples::
 
     python -m repro.obs report trace.jsonl
-    python -m repro.obs report trace.jsonl --tree --limit 20
+    python -m repro.obs report trace.jsonl --tree --limit 20 --top 5
+    python -m repro.obs timeline trace.jsonl --out timeline.json
     python -m repro.obs compare baseline.json current.json --tolerance 0.25
     python -m repro.obs explain run-report.json --json explain.json
     python -m repro.obs replay capture.jsonl
@@ -24,10 +25,26 @@ from .runreport import RUN_REPORT_SCHEMA, load_run_report
 def _cmd_report(args: argparse.Namespace) -> int:
     try:
         report = analyze(args.trace)
+        rendered = render_report(
+            report, tree=args.tree, limit=args.limit, top=args.top
+        )
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_report(report, tree=args.tree, limit=args.limit))
+    print(rendered)
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from .timeline import summarize_timeline, write_timeline
+
+    try:
+        doc = write_timeline(args.out, args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summarize_timeline(doc))
+    print(f"timeline written to {args.out} (load in chrome://tracing)")
     return 0
 
 
@@ -125,7 +142,28 @@ def main(argv=None) -> int:
     report.add_argument(
         "--limit", type=int, default=None, help="rollup rows to show (default all)"
     )
+    report.add_argument(
+        "--top",
+        type=int,
+        default=None,
+        help="also print the N heaviest span names by self time "
+        "(keeps serve-scale rollups readable)",
+    )
     report.set_defaults(func=_cmd_report)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="export a span JSONL as chrome://tracing-loadable trace-event JSON",
+    )
+    timeline.add_argument(
+        "trace", help="span file (JSONL) from --trace-out or serve --trace-out"
+    )
+    timeline.add_argument(
+        "--out",
+        default="timeline.json",
+        help="output path for the catapult JSON (default: timeline.json)",
+    )
+    timeline.set_defaults(func=_cmd_timeline)
 
     compare = sub.add_parser(
         "compare", help="diff two RunReports; exit 1 on regression"

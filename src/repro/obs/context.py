@@ -1,0 +1,130 @@
+"""Per-request context: a trace id, attributes, and an optional deadline.
+
+The serving layer handles many requests concurrently, but the cost signals
+the adaptive-routing work needs (ROADMAP item 4, after Kipf et al.'s
+"Adaptive Geospatial Joins for Modern Hardware") are *per request*: which
+stages this query paid for, on which engine worker, against which
+deadline.  A :class:`RequestContext` is the identity that survives the
+whole journey - TCP front-end -> :meth:`QueryService.submit` -> engine
+checkout -> pipeline stages -> :class:`~repro.exec.parallel.ParallelExecutor`
+shards - so every span, slow-query record, and shard report can be joined
+back to the request that caused it.
+
+Scoping follows the same ContextVar discipline as
+:func:`repro.obs.metrics.use_registry` and
+:func:`repro.exec.trace.use_tracer`: :func:`use_context` is token-restored
+per thread / asyncio task, so concurrent requests can never observe each
+other's context.  Unlike those two there is **no process-global install**:
+a request context is meaningless outside the request that created it, so
+the only way to set one is the scoped form.
+
+Crossing a process boundary (the sharded geometry backend) is explicit,
+exactly like the shard-local metric registries: the coordinator passes
+``ctx.trace_id`` in the task tuple and the worker re-enters a context
+built from it (:mod:`repro.exec.parallel`).
+
+The module deliberately imports nothing from the rest of :mod:`repro`, so
+any layer may depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-digit trace id (collision-safe per process lifetime)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """The identity of one in-flight request.
+
+    Frozen: a context is created once at admission and shared read-only by
+    every layer the request touches (mutating it mid-flight would make the
+    attribution ambiguous).  ``attributes`` is exported by copy wherever it
+    leaves the process (spans, slow-query records), so holding a reference
+    here is safe.
+    """
+
+    trace_id: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Absolute wall-clock deadline (``time.time()`` scale), or ``None``.
+    #: Propagated as metadata: pipelines do not preempt themselves, but
+    #: spans and slow-query records mark work finishing past it.
+    deadline_unix_s: Optional[float] = None
+
+    @classmethod
+    def new(
+        cls,
+        attributes: Optional[Dict[str, Any]] = None,
+        deadline_unix_s: Optional[float] = None,
+    ) -> "RequestContext":
+        return cls(
+            trace_id=new_trace_id(),
+            attributes=dict(attributes) if attributes else {},
+            deadline_unix_s=deadline_unix_s,
+        )
+
+    def remaining_s(self) -> Optional[float]:
+        """Seconds until the deadline (negative = past it); None if unset."""
+        if self.deadline_unix_s is None:
+            return None
+        return self.deadline_unix_s - time.time()
+
+    def expired(self) -> bool:
+        """True when a deadline is set and already past."""
+        remaining = self.remaining_s()
+        return remaining is not None and remaining < 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "attributes": dict(self.attributes),
+        }
+        if self.deadline_unix_s is not None:
+            out["deadline_unix_s"] = self.deadline_unix_s
+        return out
+
+
+# -- the current context ------------------------------------------------------
+
+_CURRENT: "ContextVar[Optional[RequestContext]]" = ContextVar(
+    "repro_obs_request_context", default=None
+)
+
+
+def current_context() -> Optional[RequestContext]:
+    """The active request context, or None outside any request scope."""
+    return _CURRENT.get()
+
+
+@contextmanager
+def use_context(
+    context: Optional[RequestContext],
+) -> Iterator[Optional[RequestContext]]:
+    """Make ``context`` current for the duration of a block.
+
+    Token-restored per thread / asyncio task: concurrent requests each see
+    exactly their own context, and nested scopes unwind correctly.
+    Passing ``None`` explicitly clears the context inside the block.
+    """
+    token = _CURRENT.set(context)
+    try:
+        yield context
+    finally:
+        _CURRENT.reset(token)
+
+
+__all__ = [
+    "RequestContext",
+    "current_context",
+    "new_trace_id",
+    "use_context",
+]

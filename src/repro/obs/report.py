@@ -234,6 +234,28 @@ def render_tree(
     return "\n".join(lines)
 
 
+def render_top_self(report: TraceReport, n: int) -> str:
+    """The ``n`` heaviest span names by **self** time (not total).
+
+    Total time double-counts parents of expensive children; self time is
+    where the run actually burned its cycles, which is what keeps rollups
+    readable on serve-scale traces (thousands of request trees): the top
+    table points straight at the stage to optimize.
+    """
+    if n < 1:
+        raise ValueError(f"top must be >= 1, got {n}")
+    ranked = sorted(report.rollups, key=lambda r: r.self_s, reverse=True)[:n]
+    total_self = sum(r.self_s for r in report.rollups) or 1.0
+    lines = []
+    for rank, r in enumerate(ranked, start=1):
+        lines.append(
+            f"{rank}. {r.name}  self {_ms(r.self_s)} ms"
+            f" ({r.self_s / total_self:.0%} of self time,"
+            f" {r.calls} call(s), total {_ms(r.total_s)} ms)"
+        )
+    return "\n".join(lines) if lines else "(no spans)"
+
+
 def render_critical_path(report: TraceReport) -> str:
     """The heaviest root-to-leaf chain, one hop per line."""
     lines = []
@@ -253,6 +275,7 @@ def render_report(
     report: TraceReport,
     tree: bool = False,
     limit: Optional[int] = None,
+    top: Optional[int] = None,
 ) -> str:
     """The full text report (rollups + critical path, optionally the tree)."""
     sections: List[str] = []
@@ -261,6 +284,9 @@ def render_report(
         f"  roots: {len(report.roots)}  root total: {_ms(report.total_s)} ms"
         + (f"  orphans: {report.orphans}" if report.orphans else "")
     )
+    if top is not None:
+        sections.append(f"== top {top} by self time ==")
+        sections.append(render_top_self(report, top))
     sections.append("== per-stage rollup ==")
     sections.append(render_rollups(report, limit=limit))
     sections.append("== critical path ==")
@@ -281,5 +307,6 @@ __all__: Sequence[str] = (
     "render_critical_path",
     "render_report",
     "render_rollups",
+    "render_top_self",
     "render_tree",
 )

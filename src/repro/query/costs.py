@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterator, Tuple
 
 from ..exec.trace import current_tracer
+from ..obs.context import current_context
 from ..obs.metrics import current_registry
 
 
@@ -110,13 +111,20 @@ class CostBreakdown:
             if tracer is not None
             else nullcontext()
         )
-        with span:
+        with span as live_span:
             start = time.perf_counter()
             try:
                 yield
             finally:
                 elapsed = time.perf_counter() - start
                 setattr(self, attr, getattr(self, attr) + elapsed)
+                # Under a traced request whose RequestContext carries a
+                # deadline, mark stages that finished past it - the
+                # slow-query forensics log points at the first such span.
+                if live_span is not None:
+                    context = current_context()
+                    if context is not None and context.expired():
+                        live_span.attributes["over_deadline"] = True
                 if registry is not None:
                     registry.counter("stage_seconds", stage=stage).inc(elapsed)
                     registry.histogram("stage_duration_s", stage=stage).observe(

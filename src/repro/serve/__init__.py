@@ -16,6 +16,10 @@ Layers (each its own module):
   and timeout outcomes;
 * :mod:`~repro.serve.service` - the thread-safe core gluing those
   together and accounting every request into the metrics registry;
+* :mod:`~repro.serve.tracing` - per-request tracer policy and the
+  bounded store of finished request span trees;
+* :mod:`~repro.serve.slowlog` - slow-query forensics records (span tree,
+  EXPLAIN funnel, cost stages, cache deltas) and their offline summary;
 * :mod:`~repro.serve.server` - the asyncio TCP JSON-lines front-end;
 * :mod:`~repro.serve.loadgen` - open-loop and closed-loop load
   generators emitting RunReports for CI gating.
@@ -44,6 +48,15 @@ from .schema import (
 )
 from .server import ServeFrontend, run_server, send_envelope
 from .service import QueryService
+from .slowlog import (
+    SLOWLOG_SCHEMA,
+    SlowLogConfig,
+    SlowQueryLog,
+    build_record,
+    load_slowlog,
+    summarize_slowlog,
+)
+from .tracing import TraceStore, TracingConfig
 
 __all__ = [
     "AdmissionConfig",
@@ -60,16 +73,24 @@ __all__ = [
     "REQUEST_SCHEMA",
     "RESPONSE_SCHEMA",
     "SERVE_OPS",
+    "SLOWLOG_SCHEMA",
     "STATUSES",
     "ServeFrontend",
     "ServingEngine",
     "ServingWorkload",
+    "SlowLogConfig",
+    "SlowQueryLog",
+    "TraceStore",
+    "TracingConfig",
     "WorkloadConfig",
+    "build_record",
     "build_schedule",
     "canonical_results",
+    "load_slowlog",
     "run_closed_loop",
     "run_open_loop",
     "run_server",
     "run_sweep",
     "send_envelope",
+    "summarize_slowlog",
 ]

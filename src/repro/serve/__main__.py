@@ -4,7 +4,9 @@ Examples::
 
     python -m repro.serve serve --port 8753 --workers 2
     python -m repro.serve loadgen --rate 6 --duration 30 --report-out run.json
+    python -m repro.serve loadgen --trace-out spans.jsonl --slowlog-out slow.jsonl
     python -m repro.serve sweep --levels 1,2,4 --iterations 20
+    python -m repro.serve slowlog slow.jsonl --top 5
     python -m repro.serve ping --port 8753
 """
 
@@ -24,6 +26,8 @@ from .engine import BACKENDS, WorkloadConfig
 from .loadgen import LoadgenConfig, LoadResult, run_open_loop, run_sweep
 from .server import run_server, send_envelope
 from .service import QueryService
+from .slowlog import SlowLogConfig, load_slowlog, summarize_slowlog
+from .tracing import TracingConfig
 
 
 def _add_service_args(parser: argparse.ArgumentParser) -> None:
@@ -101,6 +105,32 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="prime every pool engine with one request before serving",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="per-request tracing: every request gets its own tracer and "
+        "a trace_id echoed on the response (default: off)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="after the run, export retained request traces as span JSONL "
+        "(implies --trace; analyze with 'python -m repro.obs report' or "
+        "'python -m repro.obs timeline')",
+    )
+    parser.add_argument(
+        "--slowlog-out",
+        default=None,
+        help="append slow-query forensics records (JSONL) here; "
+        "summarize with 'python -m repro.serve slowlog'",
+    )
+    parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        help="seconds an ok request may take before it is slow-logged "
+        "(shed/timeout/error are always logged; default: 0.25)",
+    )
 
 
 def _build_service(args: argparse.Namespace) -> QueryService:
@@ -115,11 +145,19 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         interval_level=args.interval_level,
     )
     admission = AdmissionConfig(max_queue=args.max_queue, timeout_s=args.timeout)
+    tracing = TracingConfig(enabled=args.trace or args.trace_out is not None)
+    slowlog = (
+        SlowLogConfig(threshold_s=args.slow_threshold, path=args.slowlog_out)
+        if args.slowlog_out is not None
+        else None
+    )
     return QueryService(
         workload=workload,
         workers=args.workers,
         admission=admission,
         warm=args.warm,
+        tracing=tracing,
+        slowlog=slowlog,
     )
 
 
@@ -162,6 +200,21 @@ def _emit(load: LoadResult, args: argparse.Namespace) -> None:
             json.dump(load.metrics_snapshot, f, indent=2, sort_keys=True)
             f.write("\n")
         print(f"metrics snapshot written to {args.metrics_out}")
+
+
+def _emit_forensics(service: QueryService, args: argparse.Namespace) -> None:
+    """Export traces / report slowlog volume after a load run."""
+    if getattr(args, "trace_out", None):
+        count = service.export_traces(args.trace_out)
+        print(
+            f"{count} span(s) from {len(service.traces)} request trace(s)"
+            f" written to {args.trace_out}"
+        )
+    if getattr(args, "slowlog_out", None) and service.slowlog is not None:
+        print(
+            f"{service.slowlog.logged} slow-query record(s) appended to"
+            f" {args.slowlog_out}"
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -213,7 +266,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ping.add_argument("--host", default="127.0.0.1")
     p_ping.add_argument("--port", type=int, default=8753)
 
+    p_slow = sub.add_parser(
+        "slowlog", help="summarize a slow-query forensics log (JSONL)"
+    )
+    p_slow.add_argument("log", help="file written by --slowlog-out")
+    p_slow.add_argument(
+        "--top", type=int, default=5, help="slowest requests to show (default: 5)"
+    )
+
     args = parser.parse_args(argv)
+
+    if args.command == "slowlog":
+        try:
+            records = load_slowlog(args.log)
+            print(summarize_slowlog(records, top=args.top))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.command == "ping":
         reply = send_envelope(args.host, args.port, {"kind": "ping"})
@@ -226,6 +296,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             run_server(service, host=args.host, port=args.port)
         finally:
             service.close()
+            _emit_forensics(service, args)
         return 0
 
     if args.command == "loadgen":
@@ -240,6 +311,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             service.close()
         _emit(load, args)
+        _emit_forensics(service, args)
         return 0
 
     if args.command == "sweep":
@@ -256,6 +328,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         finally:
             service.close()
         _emit(load, args)
+        _emit_forensics(service, args)
         return 0
 
     parser.error(f"unknown command {args.command!r}")

@@ -39,7 +39,7 @@ import queue
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from ..bench.scales import get_scale
 from ..cache import CacheConfig
@@ -207,6 +207,45 @@ class ServingEngine:
             res = self.within.run(request.distance)
             return res.pairs, res.cost
         raise ValueError(f"unknown op {request.op!r}")
+
+    def execute_forensic(
+        self, request: QueryRequest
+    ) -> Tuple[List[Any], CostBreakdown, Any, Dict[str, Dict[str, int]]]:
+        """Run one request with per-request EXPLAIN and cache attribution.
+
+        Returns ``(results, cost, funnel, cache_delta)``.  The funnel is
+        the engine's RefinementStats *delta* across this request and the
+        cache delta the hit/miss/eviction movement of each enabled cache
+        layer - both safe to attribute to this request alone because the
+        pool checks an engine out to exactly one request at a time.
+        Results are the same object :meth:`execute` would return: the
+        forensic path only reads counters around the call.
+        """
+        from ..obs.explain import explain_run
+
+        cache_before = {
+            label: (s.hits, s.misses, s.evictions)
+            for label, s in self.engine.caches.stats().items()
+        }
+        captured: Dict[str, Any] = {}
+
+        def run() -> Any:
+            results, cost = self.execute(request)
+            captured["results"] = results
+            # explain_run reads ``result.cost``; hand it a shim since
+            # execute() returns a tuple, not a pipeline result object.
+            return type("_Run", (), {"cost": cost})()
+
+        shim, funnel = explain_run(request.op, self.engine, run)
+        cache_delta = {
+            label: {
+                "hits": s.hits - cache_before.get(label, (0, 0, 0))[0],
+                "misses": s.misses - cache_before.get(label, (0, 0, 0))[1],
+                "evictions": s.evictions - cache_before.get(label, (0, 0, 0))[2],
+            }
+            for label, s in self.engine.caches.stats().items()
+        }
+        return captured["results"], shim.cost, funnel, cache_delta
 
     def warm(self) -> None:
         """Prime the caches/pipelines with one cheap request per op."""

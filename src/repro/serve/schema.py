@@ -53,6 +53,11 @@ class QueryRequest:
     distance: Optional[float] = None
     #: Optional client-chosen correlation id, echoed on the response.
     request_id: Optional[str] = None
+    #: Optional client-supplied distributed-tracing id.  When the service
+    #: runs with tracing enabled it adopts this id (or mints one when
+    #: absent) and echoes it on the response, so a client can join its own
+    #: spans with the server-side trace.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -78,6 +83,10 @@ class QueryRequest:
                 )
         elif self.distance is not None:
             raise ValueError(f"op {self.op!r} does not take distance")
+        if self.trace_id is not None and not isinstance(self.trace_id, str):
+            raise ValueError(
+                f"trace_id must be a string, got {self.trace_id!r}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         out: Dict[str, Any] = {"schema": REQUEST_SCHEMA, "op": self.op}
@@ -87,6 +96,8 @@ class QueryRequest:
             out["distance"] = self.distance
         if self.request_id is not None:
             out["request_id"] = self.request_id
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
     @classmethod
@@ -97,7 +108,7 @@ class QueryRequest:
                 f"unsupported request schema {schema!r};"
                 f" expected {REQUEST_SCHEMA!r}"
             )
-        known = {"schema", "op", "query_index", "distance", "request_id"}
+        known = {"schema", "op", "query_index", "distance", "request_id", "trace_id"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request field(s) {sorted(unknown)}")
@@ -108,6 +119,7 @@ class QueryRequest:
             query_index=data.get("query_index"),
             distance=data.get("distance"),
             request_id=data.get("request_id"),
+            trace_id=data.get("trace_id"),
         )
 
 
@@ -131,6 +143,10 @@ class QueryResponse:
     total_s: float = 0.0
     error: Optional[str] = None
     attributes: Dict[str, Any] = field(default_factory=dict)
+    #: Server-side trace id of this request (set whenever the service ran
+    #: with tracing or slow-query forensics enabled): the key joining the
+    #: response to its span tree, timeline lanes, and slowlog record.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.status not in STATUSES:
@@ -166,6 +182,8 @@ class QueryResponse:
             out["error"] = self.error
         if self.attributes:
             out["attributes"] = self.attributes
+        if self.trace_id is not None:
+            out["trace_id"] = self.trace_id
         return out
 
     @classmethod
@@ -187,6 +205,7 @@ class QueryResponse:
             total_s=data.get("total_s", 0.0),
             error=data.get("error"),
             attributes=dict(data.get("attributes", {})),
+            trace_id=data.get("trace_id"),
         )
 
 

@@ -24,6 +24,27 @@ existing pipeline instrumentation (funnel counters, stage seconds,
 refinement stats) publishes into it from every worker thread concurrently -
 which is exactly the load that required making the registry thread-safe
 and the install contextvar-scoped.
+
+Per-request observability rides the same submit path, always scoped and
+never process-global:
+
+* with **tracing** enabled (:class:`~repro.serve.tracing.TracingConfig`),
+  every request gets its *own* :class:`~repro.exec.trace.Tracer` - a
+  ``request`` root span, a ``queue_wait`` span, an ``execute`` span under
+  which the pipelines' :meth:`~repro.query.costs.CostBreakdown.time_stage`
+  spans and the shard records of :mod:`repro.exec.parallel` parent - and
+  the response echoes the ``trace_id`` (client-supplied or minted).
+  Finished traces land in a bounded :class:`~repro.serve.tracing.TraceStore`
+  exportable via :meth:`QueryService.export_traces`.
+* Tracer scoping is **unconditional**: a tracer is single-control-flow, so
+  every submit wraps itself in ``use_tracer(per_request_or_None)`` - a
+  scoped ``None`` shields concurrent serving threads from any ambient
+  process-global tracer that would interleave their spans.
+* with a **slow-query log** (:class:`~repro.serve.slowlog.SlowLogConfig`),
+  threshold-exceeding requests and every shed/timeout/error emit a JSONL
+  forensics record (span tree, EXPLAIN funnel, cost stages, cache deltas,
+  queue-wait split) via the per-request
+  :meth:`~repro.serve.engine.ServingEngine.execute_forensic` path.
 """
 
 from __future__ import annotations
@@ -31,12 +52,17 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Any, Dict, Optional
+from contextlib import nullcontext
+from typing import IO, Any, Dict, Optional, Tuple, Union
 
+from ..exec.trace import Tracer, use_tracer
+from ..obs.context import RequestContext, new_trace_id, use_context
 from ..obs.metrics import MetricsRegistry, use_registry
 from .admission import AdmissionConfig, AdmissionController
 from .engine import EnginePool, ServingWorkload, WorkloadConfig
 from .schema import QueryRequest, QueryResponse
+from .slowlog import SlowLogConfig, SlowQueryLog, build_record
+from .tracing import TraceStore, TracingConfig
 
 
 class QueryService:
@@ -49,12 +75,20 @@ class QueryService:
         admission: Optional[AdmissionConfig] = None,
         registry: Optional[MetricsRegistry] = None,
         warm: bool = False,
+        tracing: Optional[TracingConfig] = None,
+        slowlog: Optional[SlowLogConfig] = None,
     ) -> None:
         self.workload_config = workload if workload is not None else WorkloadConfig()
         self.admission_config = (
             admission if admission is not None else AdmissionConfig()
         )
         self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracing = tracing if tracing is not None else TracingConfig.disabled()
+        #: Finished per-request span trees (only filled when tracing is on).
+        self.traces = TraceStore(self.tracing.max_requests)
+        self.slowlog: Optional[SlowQueryLog] = (
+            SlowQueryLog(slowlog) if slowlog is not None else None
+        )
         self.workload = ServingWorkload(self.workload_config)
         self.pool = EnginePool(self.workload, workers, warm=warm)
         self.admission = AdmissionController(
@@ -82,48 +116,147 @@ class QueryService:
         request cannot take down a serving thread.
         """
         start = time.perf_counter()
+        tracing_on = self.tracing.enabled
+        forensics = tracing_on or self.slowlog is not None
+        trace_id = (request.trace_id or new_trace_id()) if forensics else None
+        tracer = Tracer(trace_id=trace_id) if tracing_on else None
+        context = None
+        if forensics:
+            timeout_s = self.admission_config.timeout_s
+            context = RequestContext(
+                trace_id=trace_id,  # type: ignore[arg-type]
+                attributes={"op": request.op},
+                deadline_unix_s=(
+                    time.time() + timeout_s if timeout_s is not None else None
+                ),
+            )
+        # Scoped even when tracing is off: a Tracer is single-control-flow,
+        # so concurrent serving threads must never share one.  The scoped
+        # per-request tracer - or an explicit None - shields this request
+        # from any ambient process-global tracer.
+        with use_context(context), use_tracer(tracer):
+            if tracer is not None:
+                with tracer.span("request", op=request.op) as root:
+                    response, forensic = self._submit_core(
+                        request, start, tracer
+                    )
+                    root.attributes["status"] = response.status
+                    if response.worker is not None:
+                        root.attributes["worker"] = response.worker
+            else:
+                response, forensic = self._submit_core(request, start, tracer)
+        if trace_id is not None:
+            response.trace_id = trace_id
+        if tracer is not None:
+            self.traces.add(tracer.spans)
+        slowlog = self.slowlog
+        if slowlog is not None and slowlog.should_log(
+            response.status, response.total_s
+        ):
+            slowlog.record(
+                build_record(
+                    request,
+                    response,
+                    spans=tracer.spans if tracer is not None else (),
+                    funnel=forensic.get("funnel"),
+                    cost=forensic.get("cost"),
+                    cache_delta=forensic.get("cache_delta"),
+                    queue_depth=self.admission.queue_depth,
+                )
+            )
+            self.registry.counter(
+                "serve_slow_requests", op=request.op, status=response.status
+            ).inc()
+        return response
+
+    def _submit_core(
+        self,
+        request: QueryRequest,
+        start: float,
+        tracer: Optional[Tracer],
+    ) -> Tuple[QueryResponse, Dict[str, Any]]:
+        """Admission -> engine checkout -> execution -> accounting.
+
+        Returns the response plus the forensic artifacts (funnel, cost,
+        cache deltas) gathered for the slow-query log along the way.
+        """
         reg = self.registry
+        forensic: Dict[str, Any] = {}
         if self._closed.is_set():
-            return self._finish(
-                request, "error", start, error="service is closed"
+            return (
+                self._finish(request, "error", start, error="service is closed"),
+                forensic,
             )
         if not self.admission.try_admit():
-            return self._finish(request, "shed", start)
+            return self._finish(request, "shed", start), forensic
 
         engine = self.pool.acquire(self.admission_config.timeout_s)
         wait_s = time.perf_counter() - start
+        if tracer is not None:
+            tracer.record("queue_wait", wait_s)
         if engine is None:
             self.admission.abandon_queue()
-            return self._finish(request, "timeout", start, wait_s=wait_s)
+            return (
+                self._finish(request, "timeout", start, wait_s=wait_s),
+                forensic,
+            )
 
         self.admission.start_execution()
         try:
             exec_start = time.perf_counter()
-            with use_registry(reg):
-                results, cost = engine.execute(request)
+            exec_span = (
+                tracer.span("execute", worker=engine.worker_id)
+                if tracer is not None
+                else nullcontext()
+            )
+            with use_registry(reg), exec_span:
+                if self.slowlog is not None:
+                    results, cost, funnel, cache_delta = (
+                        engine.execute_forensic(request)
+                    )
+                    forensic["funnel"] = funnel
+                    forensic["cache_delta"] = cache_delta
+                else:
+                    results, cost = engine.execute(request)
             exec_s = time.perf_counter() - exec_start
         except Exception as exc:
-            return self._finish(
-                request,
-                "error",
-                start,
-                wait_s=wait_s,
-                worker=engine.worker_id,
-                error=f"{type(exc).__name__}: {exc}",
+            return (
+                self._finish(
+                    request,
+                    "error",
+                    start,
+                    wait_s=wait_s,
+                    worker=engine.worker_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                ),
+                forensic,
             )
         finally:
             self.admission.finish_execution()
             self.pool.release(engine)
-        return self._finish(
-            request,
-            "ok",
-            start,
-            results=results,
-            wait_s=wait_s,
-            exec_s=exec_s,
-            worker=engine.worker_id,
-            attributes={"pairs_compared": cost.pairs_compared},
+        forensic["cost"] = cost
+        return (
+            self._finish(
+                request,
+                "ok",
+                start,
+                results=results,
+                wait_s=wait_s,
+                exec_s=exec_s,
+                worker=engine.worker_id,
+                attributes={"pairs_compared": cost.pairs_compared},
+            ),
+            forensic,
         )
+
+    def export_traces(self, target: Union[str, IO[str]]) -> int:
+        """Write every retained request trace as span JSONL; returns count.
+
+        The output is the flat span format ``python -m repro.obs report``
+        and ``python -m repro.obs timeline`` consume (ids namespaced per
+        trace, every span stamped with its request's trace_id).
+        """
+        return self.traces.export(target)
 
     async def asubmit(
         self,
@@ -182,6 +315,8 @@ class QueryService:
             workers=self.pool.size,
             max_queue=self.admission_config.max_queue,
             timeout_s=self.admission_config.timeout_s,
+            tracing=self.tracing.enabled,
+            slowlog=self.slowlog is not None,
         )
         return info
 

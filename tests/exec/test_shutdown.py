@@ -36,7 +36,8 @@ class TestGracefulShutdown:
         spec = EngineSpec.for_engine(SoftwareEngine())
         pool = executor._pool_for(spec)
         tasks = [
-            ("intersect", None, _items(16), False, False) for _ in range(6)
+            ("intersect", None, _items(16), False, False, None)
+            for _ in range(6)
         ]
         async_result = pool.map_async(_refine_shard, tasks)
         executor.close()  # close() + join() waits for the queued shards
@@ -88,7 +89,7 @@ class TestWorkerInitFailure:
         executor = ParallelExecutor(workers=2)
         bad_spec = EngineSpec(kind="definitely-not-an-engine")
         pool = executor._pool_for(bad_spec)
-        tasks = [("intersect", None, _items(4), False, False)]
+        tasks = [("intersect", None, _items(4), False, False, None)]
         with pytest.raises(RuntimeError, match="initializer failed"):
             pool.map(_refine_shard, tasks)
         executor.terminate()

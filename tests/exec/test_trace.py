@@ -66,6 +66,47 @@ class TestTracer:
         assert [s.name for s in t.find("a")] == ["a"]
 
 
+class TestSpanToDict:
+    def test_attributes_exported_by_copy(self):
+        # Regression: to_dict used to return the attributes dict by
+        # reference, letting later mutation retroactively alter spans
+        # already exported but not yet serialized.
+        span = Span(
+            span_id=1,
+            parent_id=None,
+            name="stage",
+            start_unix_s=0.0,
+            duration_s=0.1,
+            attributes={"pairs": 5},
+        )
+        doc = span.to_dict()
+        span.attributes["pairs"] = 999
+        assert doc["attributes"] == {"pairs": 5}
+        doc["attributes"]["other"] = 1
+        assert "other" not in span.attributes
+
+    def test_trace_id_only_present_when_set(self):
+        kwargs = dict(
+            span_id=1, parent_id=None, name="x", start_unix_s=0.0, duration_s=0.0
+        )
+        assert "trace_id" not in Span(**kwargs).to_dict()
+        assert Span(**kwargs, trace_id="abc").to_dict()["trace_id"] == "abc"
+
+
+class TestTraceId:
+    def test_tracer_stamps_spans_and_records(self):
+        t = Tracer(trace_id="deadbeef")
+        with t.span("outer"):
+            t.record("inner", 0.01)
+        assert all(s.trace_id == "deadbeef" for s in t.spans)
+
+    def test_default_tracer_leaves_trace_id_unset(self):
+        t = Tracer()
+        with t.span("outer"):
+            pass
+        assert t.spans[0].trace_id is None
+
+
 class TestJsonLinesExport:
     def test_export_round_trips(self):
         t = Tracer()

@@ -85,6 +85,77 @@ class TestHistogram:
         assert h.sum == math.fsum([0.1] * 10)
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert summary["sum"] == 0.0
+        assert summary["mean"] == 0.0
+        assert summary["min"] == 0.0
+        assert summary["max"] == 0.0
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 0.0
+
+    def test_single_observation(self):
+        h = Histogram()
+        h.observe(3.0)
+        # Every quantile of a one-point distribution is that point: the
+        # bucket upper bound (4.0) must be clamped to the observed max.
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == 3.0
+        summary = h.summary()
+        assert summary["p50"] == summary["p95"] == summary["p99"] == 3.0
+        assert summary["min"] == summary["max"] == 3.0
+
+    def test_all_zero_observations(self):
+        h = Histogram()
+        for _ in range(5):
+            h.observe(0.0)
+        assert h.quantile(0.99) == 0.0
+        assert h.summary()["max"] == 0.0
+
+    def test_zeros_mixed_with_values(self):
+        h = Histogram()
+        for _ in range(9):
+            h.observe(0.0)
+        h.observe(8.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) == 8.0
+
+    def test_rejects_out_of_range_q(self):
+        h = Histogram()
+        h.observe(1.0)
+        for bad in (-0.1, 1.1, float("nan")):
+            with pytest.raises(ValueError):
+                h.quantile(bad)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_quantiles_monotone_and_conservative(self, values):
+        h = Histogram()
+        for v in values:
+            h.observe(v)
+        summary = h.summary()
+        p50, p95, p99 = summary["p50"], summary["p95"], summary["p99"]
+        # Monotone in q...
+        assert p50 <= p95 <= p99
+        # ...bounded by the observed range...
+        assert 0.0 <= p50 and p99 <= max(values)
+        # ...and never below the true (rank-based) quantile: the estimate
+        # is the upper boundary of the rank's bucket, clamped to max.
+        ordered = sorted(values)
+        for q, estimate in ((0.50, p50), (0.95, p95), (0.99, p99)):
+            rank = max(1, math.ceil(q * len(ordered)))
+            assert estimate >= ordered[rank - 1]
+
+
 class TestRegistry:
     def test_labels_address_distinct_series(self):
         reg = MetricsRegistry()

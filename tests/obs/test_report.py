@@ -12,6 +12,7 @@ from repro.obs.report import (
     load_spans,
     render_report,
     render_rollups,
+    render_top_self,
 )
 
 
@@ -122,6 +123,32 @@ class TestRendering:
         assert "mbr_filter" not in text
 
 
+class TestTopSelf:
+    # Self times in SAMPLE: geometry.shard 0.65, mbr_filter 0.2,
+    # query 0.1 (1.0 - 0.9 of children), geometry 0.05 (0.7 - 0.65).
+    def test_ranked_by_self_time_not_total(self):
+        lines = render_top_self(build_tree(SAMPLE), 3).splitlines()
+        assert lines[0].startswith("1. geometry.shard")
+        assert lines[1].startswith("2. mbr_filter")
+        # "query" has the largest *total* but only 0.1 s of self time.
+        assert lines[2].startswith("3. query")
+
+    def test_truncates_to_n(self):
+        assert len(render_top_self(build_tree(SAMPLE), 1).splitlines()) == 1
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ValueError):
+            render_top_self(build_tree(SAMPLE), 0)
+
+    def test_empty_report(self):
+        assert render_top_self(build_tree([]), 5) == "(no spans)"
+
+    def test_render_report_top_section(self):
+        text = render_report(build_tree(SAMPLE), top=2)
+        assert "== top 2 by self time ==" in text
+        assert text.index("top 2 by self time") < text.index("per-stage rollup")
+
+
 class TestCli:
     def test_report_command(self, tmp_path, capsys):
         path = tmp_path / "spans.jsonl"
@@ -134,3 +161,13 @@ class TestCli:
     def test_report_command_missing_file(self, tmp_path, capsys):
         assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_report_command_top(self, tmp_path, capsys):
+        path = tmp_path / "spans.jsonl"
+        tracer = Tracer(JsonLinesExporter(str(path)))
+        tracer.record("fast", 0.01)
+        tracer.record("slow", 0.5)
+        assert obs_main(["report", str(path), "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "== top 1 by self time ==" in out
+        assert "1. slow" in out
