@@ -23,7 +23,13 @@ time goes and a gate that fails when it regresses.
   (trace id, attributes, optional deadline) propagated through the
   serving stack and across the shard-pool boundary;
 * :mod:`repro.obs.timeline` - Chrome trace-event export of span files
-  with worker/shard lanes (``python -m repro.obs timeline trace.jsonl``).
+  with worker/shard lanes (``python -m repro.obs timeline trace.jsonl``);
+* :mod:`repro.obs.window` - rolling-window views (epoch-aligned rings of
+  the exact histograms/counters, injectable clock) for "happening now"
+  telemetry the cumulative registry cannot express;
+* :mod:`repro.obs.slo` - SLO objectives, error-budget burn rates over
+  fast/slow windows, the firing/resolved alert state machine, and the
+  bounded JSONL-exportable alert log (``repro.obs/alerts@1``).
 """
 
 from .capture import (
@@ -58,6 +64,21 @@ from .metrics import (
     use_registry,
 )
 from .report import TraceReport, analyze, load_spans, render_report
+from .slo import (
+    ALERTS_SCHEMA,
+    AlertLog,
+    SLOConfig,
+    SLObjective,
+    SLOTracker,
+    default_objectives,
+    load_alert_log,
+)
+from .window import (
+    WindowConfig,
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedRegistry,
+)
 from .timeline import (
     TIMELINE_SCHEMA,
     summarize_timeline,
@@ -75,6 +96,8 @@ from .runreport import (
 )
 
 __all__ = [
+    "ALERTS_SCHEMA",
+    "AlertLog",
     "CAPTURE_SCHEMA",
     "CommandRecorder",
     "Comparison",
@@ -88,12 +111,20 @@ __all__ = [
     "RUN_REPORT_SCHEMA",
     "ReplayResult",
     "RequestContext",
+    "SLOConfig",
+    "SLObjective",
+    "SLOTracker",
     "TIMELINE_SCHEMA",
     "TraceReport",
+    "WindowConfig",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedRegistry",
     "analyze",
     "build_run_report",
     "compare_reports",
     "current_context",
+    "default_objectives",
     "current_recorder",
     "current_registry",
     "environment_fingerprint",
@@ -102,6 +133,7 @@ __all__ = [
     "funnels_from_snapshot",
     "install_recorder",
     "install_registry",
+    "load_alert_log",
     "load_capture",
     "load_run_report",
     "load_spans",

@@ -18,8 +18,9 @@ substrate those layers now also report into:
   indistinguishable from observing the concatenated stream - in any order;
 * :class:`MetricsRegistry` - named instruments with label support
   (``registry.histogram("hw_test_duration_s", method="accum")``),
-  snapshot / merge / reset, a JSON exporter, and a Prometheus-style text
-  exposition for eyeballing.
+  snapshot / merge / reset, a JSON exporter, and a scrape-safe
+  Prometheus text exposition (``# HELP`` / ``# TYPE`` lines, label
+  values quoted and escaped per the exposition format).
 
 Like :mod:`repro.exec.trace`, a process-global *current registry*
 (:func:`current_registry` / :func:`install_registry` / :func:`use_registry`)
@@ -444,11 +445,15 @@ class MetricsRegistry:
         return cls.from_snapshot(json.loads(text))
 
     def prometheus_text(self) -> str:
-        """Prometheus-style text exposition (for eyeballing, not scraping).
+        """Prometheus text exposition, safe to scrape.
 
-        Histograms render cumulative ``_bucket{le=...}`` series over the
-        fixed power-of-two boundaries actually populated, plus ``_sum`` and
-        ``_count``.
+        Emits ``# HELP`` and ``# TYPE`` per family; label values are
+        quoted with backslash (``\\``), double-quote (``"``), and
+        newline escaped per the exposition format, so hostile label
+        values (paths, error messages) cannot corrupt the stream.
+        Histograms render cumulative ``_bucket{le="..."}`` series over
+        the fixed power-of-two boundaries actually populated, plus
+        ``_sum`` and ``_count``.
         """
         with self._lock:
             metrics = dict(self._metrics)
@@ -458,22 +463,31 @@ class MetricsRegistry:
         lines: List[str] = []
         for name, series in by_family.items():
             kind = _KIND_NAMES[type(series[0][1])]
+            lines.append(f"# HELP {name} {_escape_help(metric_help(name))}")
             lines.append(f"# TYPE {name} {kind}")
             for labels, metric in series:
                 if isinstance(metric, (Counter, Gauge)):
-                    lines.append(f"{format_key(name, labels)} {_fmt_num(metric.value)}")
+                    lines.append(
+                        f"{_prom_series(name, labels)} {_fmt_num(metric.value)}"
+                    )
                     continue
                 cumulative = metric.zeros
                 for e in sorted(metric.buckets):
                     cumulative += metric.buckets[e]
-                    le = _label_items({**dict(labels), "le": _fmt_num(2.0**e)})
+                    le = labels + (("le", _fmt_num(2.0**e)),)
                     lines.append(
-                        f"{format_key(name + '_bucket', le)} {cumulative}"
+                        f"{_prom_series(name + '_bucket', le)} {cumulative}"
                     )
-                inf = _label_items({**dict(labels), "le": "+Inf"})
-                lines.append(f"{format_key(name + '_bucket', inf)} {metric.count}")
-                lines.append(f"{format_key(name + '_sum', labels)} {_fmt_num(metric.sum)}")
-                lines.append(f"{format_key(name + '_count', labels)} {metric.count}")
+                inf = labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{_prom_series(name + '_bucket', inf)} {metric.count}"
+                )
+                lines.append(
+                    f"{_prom_series(name + '_sum', labels)} {_fmt_num(metric.sum)}"
+                )
+                lines.append(
+                    f"{_prom_series(name + '_count', labels)} {metric.count}"
+                )
         return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -481,6 +495,65 @@ def _fmt_num(value: Union[int, float]) -> str:
     if isinstance(value, float) and value.is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(value)
+
+
+# -- Prometheus exposition helpers --------------------------------------------
+#
+# https://prometheus.io/docs/instrumenting/exposition_formats/: label
+# values escape backslash, double-quote, and line-feed; HELP text escapes
+# backslash and line-feed.  Anything less and a hostile label value (an
+# error message, a path) splits the line and corrupts the scrape.
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_series(name: str, labels: LabelItems) -> str:
+    """``name{k="escaped v",...}`` - the scrapeable series identifier."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+#: Family help strings surfaced on ``# HELP`` lines; register project
+#: families here (unknown names get a generic line, never a missing one).
+METRIC_HELP: Dict[str, str] = {
+    "serve_requests": "Terminal request outcomes by op and status.",
+    "serve_wait_duration_s": "Seconds an ok request waited for an engine.",
+    "serve_exec_duration_s": "Seconds an ok request spent executing.",
+    "serve_request_duration_s": "Total seconds an ok request spent in the service.",
+    "serve_queue_depth": "Requests currently waiting for an engine.",
+    "serve_inflight": "Requests currently executing.",
+    "serve_queue_capacity": "Admission queue bound (arrivals beyond it shed).",
+    "serve_workers": "Engine-pool width of the service.",
+    "serve_slow_requests": "Requests captured by the slow-query log.",
+    "serve_windowed_observations": (
+        "Outcomes recorded by the windowed health monitor (cumulative mirror)."
+    ),
+    "funnel": "EXPLAIN funnel stage counts by pipeline.",
+    "cache_hits": "Cache hits by cache layer and op.",
+    "cache_misses": "Cache misses by cache layer and op.",
+    "cache_evictions": "Cache evictions by cache layer and op.",
+    "hw_verdicts": "Hardware refinement verdicts by op/method/verdict.",
+    "stage_seconds": "Wall-clock seconds by pipeline stage.",
+}
+
+
+def register_metric_help(name: str, help_text: str) -> None:
+    """Attach an exposition ``# HELP`` string to a metric family."""
+    METRIC_HELP[name] = help_text
+
+
+def metric_help(name: str) -> str:
+    return METRIC_HELP.get(name, f"repro metric family {name}.")
 
 
 # -- the current registry -----------------------------------------------------

@@ -20,9 +20,13 @@ Layers (each its own module):
   bounded store of finished request span trees;
 * :mod:`~repro.serve.slowlog` - slow-query forensics records (span tree,
   EXPLAIN funnel, cost stages, cache deltas) and their offline summary;
+* :mod:`~repro.serve.health` - windowed per-op telemetry, SLO burn-rate
+  alerting, worker heartbeats, and the ``health`` envelope verdict;
 * :mod:`~repro.serve.server` - the asyncio TCP JSON-lines front-end;
 * :mod:`~repro.serve.loadgen` - open-loop and closed-loop load
-  generators emitting RunReports for CI gating.
+  generators emitting RunReports for CI gating;
+* :mod:`~repro.serve.top` - the live terminal dashboard polling
+  ``metrics`` + ``health`` (``python -m repro.serve top``).
 """
 
 from .admission import AdmissionConfig, AdmissionController
@@ -37,7 +41,9 @@ from .loadgen import (
     run_open_loop,
     run_sweep,
 )
+from .health import HealthConfig, ServiceHealth, build_health
 from .schema import (
+    HEALTH_SCHEMA,
     REQUEST_SCHEMA,
     RESPONSE_SCHEMA,
     SERVE_OPS,
@@ -48,6 +54,7 @@ from .schema import (
 )
 from .server import ServeFrontend, run_server, send_envelope
 from .service import QueryService
+from .top import fetch_snapshot, render, run_top
 from .slowlog import (
     SLOWLOG_SCHEMA,
     SlowLogConfig,
@@ -64,6 +71,8 @@ __all__ = [
     "BACKENDS",
     "DEFAULT_MIX",
     "EnginePool",
+    "HEALTH_SCHEMA",
+    "HealthConfig",
     "LoadAccountingError",
     "LoadResult",
     "LoadgenConfig",
@@ -76,6 +85,7 @@ __all__ = [
     "SLOWLOG_SCHEMA",
     "STATUSES",
     "ServeFrontend",
+    "ServiceHealth",
     "ServingEngine",
     "ServingWorkload",
     "SlowLogConfig",
@@ -83,14 +93,18 @@ __all__ = [
     "TraceStore",
     "TracingConfig",
     "WorkloadConfig",
+    "build_health",
     "build_record",
     "build_schedule",
     "canonical_results",
+    "fetch_snapshot",
     "load_slowlog",
+    "render",
     "run_closed_loop",
     "run_open_loop",
     "run_server",
     "run_sweep",
+    "run_top",
     "send_envelope",
     "summarize_slowlog",
 ]

@@ -7,7 +7,10 @@ Examples::
     python -m repro.serve loadgen --trace-out spans.jsonl --slowlog-out slow.jsonl
     python -m repro.serve sweep --levels 1,2,4 --iterations 20
     python -m repro.serve slowlog slow.jsonl --top 5
-    python -m repro.serve ping --port 8753
+    python -m repro.serve ping --port 8753 --timeout 5
+    python -m repro.serve serve --windowed --alerts-out alerts.jsonl
+    python -m repro.serve top --port 8753            # live dashboard
+    python -m repro.serve top --once --json          # one machine-readable poll
 """
 
 from __future__ import annotations
@@ -21,12 +24,15 @@ from ..bench.scales import DEFAULT_SCALE, SCALES
 from ..cache import CacheConfig
 from ..filters.intervals import DEFAULT_INTERVAL_LEVEL
 from ..obs.runreport import write_run_report
+from ..obs.slo import default_objectives
 from .admission import AdmissionConfig
 from .engine import BACKENDS, WorkloadConfig
 from .loadgen import LoadgenConfig, LoadResult, run_open_loop, run_sweep
+from .health import HealthConfig
 from .server import run_server, send_envelope
 from .service import QueryService
 from .slowlog import SlowLogConfig, load_slowlog, summarize_slowlog
+from .top import run_top
 from .tracing import TracingConfig
 
 
@@ -131,6 +137,61 @@ def _add_service_args(parser: argparse.ArgumentParser) -> None:
         help="seconds an ok request may take before it is slow-logged "
         "(shed/timeout/error are always logged; default: 0.25)",
     )
+    parser.add_argument(
+        "--windowed",
+        action="store_true",
+        help="windowed per-op telemetry + SLO burn-rate alerting: enables "
+        "the rich 'health' envelope and 'python -m repro.serve top' "
+        "(default: off; the hot path then pays one None check)",
+    )
+    parser.add_argument(
+        "--window-width",
+        type=float,
+        default=10.0,
+        help="seconds per windowed-telemetry bucket (default: 10)",
+    )
+    parser.add_argument(
+        "--window-buckets",
+        type=int,
+        default=6,
+        help="buckets in the windowed-telemetry ring (default: 6)",
+    )
+    parser.add_argument(
+        "--slo-fast",
+        type=float,
+        default=60.0,
+        help="fast burn-rate window span, seconds (default: 60)",
+    )
+    parser.add_argument(
+        "--slo-slow",
+        type=float,
+        default=3600.0,
+        help="slow burn-rate window span, seconds (default: 3600)",
+    )
+    parser.add_argument(
+        "--slo-availability",
+        type=float,
+        default=0.99,
+        help="availability SLO target fraction (default: 0.99)",
+    )
+    parser.add_argument(
+        "--slo-latency",
+        type=float,
+        default=2.5,
+        help="latency SLO 'fast enough' bound, seconds (default: 2.5)",
+    )
+    parser.add_argument(
+        "--burn-threshold",
+        type=float,
+        default=2.0,
+        help="burn rate both SLO windows must exceed to fire (default: 2.0)",
+    )
+    parser.add_argument(
+        "--alerts-out",
+        default=None,
+        help="after the run, export SLO alert transitions as JSONL here "
+        "(implies --windowed; schema repro.obs/alerts@1)",
+    )
 
 
 def _build_service(args: argparse.Namespace) -> QueryService:
@@ -151,6 +212,19 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         if args.slowlog_out is not None
         else None
     )
+    health = None
+    if args.windowed or args.alerts_out is not None:
+        health = HealthConfig(
+            window_width_s=args.window_width,
+            window_buckets=args.window_buckets,
+            slo_fast_s=args.slo_fast,
+            slo_slow_s=args.slo_slow,
+            burn_threshold=args.burn_threshold,
+            objectives=default_objectives(
+                availability_target=args.slo_availability,
+                latency_threshold_s=args.slo_latency,
+            ),
+        )
     return QueryService(
         workload=workload,
         workers=args.workers,
@@ -158,6 +232,7 @@ def _build_service(args: argparse.Namespace) -> QueryService:
         warm=args.warm,
         tracing=tracing,
         slowlog=slowlog,
+        health=health,
     )
 
 
@@ -215,6 +290,9 @@ def _emit_forensics(service: QueryService, args: argparse.Namespace) -> None:
             f"{service.slowlog.logged} slow-query record(s) appended to"
             f" {args.slowlog_out}"
         )
+    if getattr(args, "alerts_out", None) and service.health_monitor is not None:
+        count = service.export_alerts(args.alerts_out)
+        print(f"{count} alert transition(s) written to {args.alerts_out}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -265,6 +343,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_ping = sub.add_parser("ping", help="liveness-check a running server")
     p_ping.add_argument("--host", default="127.0.0.1")
     p_ping.add_argument("--port", type=int, default=8753)
+    p_ping.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds; 0 = wait forever (default: 30)",
+    )
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard over a running server's health + metrics"
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=8753)
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls in the live loop (default: 2)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (0 = ready, 1 = degraded)",
+    )
+    p_top.add_argument(
+        "--json",
+        action="store_true",
+        help="with --once: print the raw health+metrics document instead",
+    )
+    p_top.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="socket timeout in seconds; 0 = wait forever (default: 30)",
+    )
 
     p_slow = sub.add_parser(
         "slowlog", help="summarize a slow-query forensics log (JSONL)"
@@ -286,9 +398,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.command == "ping":
-        reply = send_envelope(args.host, args.port, {"kind": "ping"})
+        timeout = None if args.timeout == 0 else args.timeout
+        reply = send_envelope(args.host, args.port, {"kind": "ping"}, timeout=timeout)
         print(json.dumps(reply))
         return 0 if reply.get("kind") == "pong" else 1
+
+    if args.command == "top":
+        timeout = None if args.timeout == 0 else args.timeout
+        return run_top(
+            args.host,
+            args.port,
+            interval_s=args.interval,
+            once=args.once,
+            as_json=args.json,
+            timeout=timeout,
+        )
 
     if args.command == "serve":
         service = _build_service(args)

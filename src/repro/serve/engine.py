@@ -149,6 +149,10 @@ class ServingEngine:
         self.worker_id = worker_id
         self.workload = workload
         self.engine = config.build_engine()
+        #: Requests this engine has started executing (deterministic in
+        #: total across the pool; the health envelope's worker roster
+        #: reports it as a liveness signal alongside the heartbeats).
+        self.requests_served = 0
         use_batch = config.backend == "batched"
         self.executor: Optional[ParallelExecutor] = (
             ParallelExecutor(workers=config.shard_workers)
@@ -190,6 +194,7 @@ class ServingEngine:
         returns - the serving layer never re-orders or re-encodes it -
         so responses stay bit-identical to direct engine calls.
         """
+        self.requests_served += 1
         if request.op == "selection":
             assert request.query_index is not None
             if request.query_index >= len(self.workload.queries):
@@ -305,6 +310,13 @@ class EnginePool:
         finally:
             if engine is not None:
                 self.release(engine)
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """One roster row per pool engine (the health envelope's base)."""
+        return [
+            {"worker": e.worker_id, "requests_served": e.requests_served}
+            for e in self.engines
+        ]
 
     def close(self) -> None:
         """Stop handing out engines and release worker resources."""

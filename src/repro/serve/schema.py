@@ -34,6 +34,10 @@ from typing import Any, Dict, List, Mapping, Optional
 #: Version tags of the wire schemas (bump on incompatible change).
 REQUEST_SCHEMA = "repro.serve/request@1"
 RESPONSE_SCHEMA = "repro.serve/response@1"
+#: The ``health`` envelope body (built by :mod:`repro.serve.health`):
+#: ready/degraded verdict, queue depth, inflight, per-op windowed
+#: latency summaries, SLO burn rates, firing alerts, worker heartbeats.
+HEALTH_SCHEMA = "repro.serve/health@1"
 
 #: The query kinds the service executes.
 SERVE_OPS = ("selection", "join", "within_distance")
@@ -221,6 +225,7 @@ def canonical_results(results: List[Any]) -> List[Any]:
 
 
 __all__ = [
+    "HEALTH_SCHEMA",
     "QueryRequest",
     "QueryResponse",
     "REQUEST_SCHEMA",

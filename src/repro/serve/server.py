@@ -13,6 +13,10 @@ Envelope kinds:
 * ``query`` - execute the attached :class:`~repro.serve.schema.QueryRequest`;
 * ``metrics`` - the service registry, both Prometheus text and the JSON
   snapshot;
+* ``health`` - readiness verdict, queue depth / inflight, per-op windowed
+  latency and rates, SLO burn rates, firing alerts, worker heartbeats
+  (:mod:`repro.serve.health`); always answerable, richest when the
+  service runs with windowed health enabled;
 * ``describe`` - the resident workload and service limits;
 * ``ping`` - liveness (answers ``pong``);
 * ``shutdown`` - acknowledge, then stop accepting connections.
@@ -36,7 +40,7 @@ from .schema import QueryRequest
 from .service import QueryService
 
 #: Envelope kinds the front-end answers.
-KINDS = ("query", "metrics", "describe", "ping", "shutdown")
+KINDS = ("query", "metrics", "health", "describe", "ping", "shutdown")
 
 #: Refuse single lines beyond this size (a malformed client, not a query).
 MAX_LINE_BYTES = 1 << 20
@@ -137,6 +141,8 @@ class ServeFrontend:
                 "text": self.service.metrics_text(),
                 "snapshot": self.service.metrics_snapshot(),
             }
+        if kind == "health":
+            return {"kind": "health", "health": self.service.health()}
         if kind == "shutdown":
             return {"kind": "shutdown-ack"}
         if kind == "query":
@@ -176,11 +182,18 @@ def run_server(
 
 
 def send_envelope(
-    host: str, port: int, envelope: Dict[str, Any], timeout: float = 30.0
+    host: str,
+    port: int,
+    envelope: Dict[str, Any],
+    timeout: Optional[float] = 30.0,
 ) -> Dict[str, Any]:
     """Blocking one-shot client: send one envelope, read one reply.
 
-    Used by tests and the ``ping`` CLI; real clients should hold the
+    ``timeout`` bounds the connect and every socket read (``None`` =
+    wait forever - the right choice against a server mid-way through a
+    heavy join on a slow machine; the CLIs thread their ``--timeout``
+    through here).  Used by tests, ``python -m repro.serve ping`` and
+    ``python -m repro.serve top``; real clients should hold the
     connection open and pipeline envelopes.
     """
     with socket.create_connection((host, port), timeout=timeout) as conn:

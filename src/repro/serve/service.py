@@ -45,6 +45,10 @@ never process-global:
   forensics record (span tree, EXPLAIN funnel, cost stages, cache deltas,
   queue-wait split) via the per-request
   :meth:`~repro.serve.engine.ServingEngine.execute_forensic` path.
+* with **windowed health** (:class:`~repro.serve.health.HealthConfig`),
+  every outcome also lands in rolling per-op latency/outcome windows and
+  the SLO burn-rate tracker, surfaced live through :meth:`QueryService.health`
+  (the TCP ``health`` envelope and ``python -m repro.serve top``).
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ from ..obs.context import RequestContext, new_trace_id, use_context
 from ..obs.metrics import MetricsRegistry, use_registry
 from .admission import AdmissionConfig, AdmissionController
 from .engine import EnginePool, ServingWorkload, WorkloadConfig
+from .health import HealthConfig, ServiceHealth, build_health
 from .schema import QueryRequest, QueryResponse
 from .slowlog import SlowLogConfig, SlowQueryLog, build_record
 from .tracing import TraceStore, TracingConfig
@@ -77,6 +82,7 @@ class QueryService:
         warm: bool = False,
         tracing: Optional[TracingConfig] = None,
         slowlog: Optional[SlowLogConfig] = None,
+        health: Optional[HealthConfig] = None,
     ) -> None:
         self.workload_config = workload if workload is not None else WorkloadConfig()
         self.admission_config = (
@@ -88,6 +94,14 @@ class QueryService:
         self.traces = TraceStore(self.tracing.max_requests)
         self.slowlog: Optional[SlowQueryLog] = (
             SlowQueryLog(slowlog) if slowlog is not None else None
+        )
+        #: Windowed telemetry + SLO burn-rate monitor (None = off, the
+        #: default: the submit path then pays one None check and the
+        #: registry snapshot stays bit-identical to a health-free build).
+        self.health_monitor: Optional[ServiceHealth] = (
+            ServiceHealth(health, registry=self.registry)
+            if health is not None
+            else None
         )
         self.workload = ServingWorkload(self.workload_config)
         self.pool = EnginePool(self.workload, workers, warm=warm)
@@ -294,6 +308,9 @@ class QueryService:
             reg.histogram("serve_request_duration_s", op=request.op).observe(
                 total_s
             )
+        monitor = self.health_monitor
+        if monitor is not None:
+            monitor.record(request.op, status, total_s, worker=worker)
         return QueryResponse(
             status=status,
             op=request.op,
@@ -317,6 +334,7 @@ class QueryService:
             timeout_s=self.admission_config.timeout_s,
             tracing=self.tracing.enabled,
             slowlog=self.slowlog is not None,
+            windowed=self.health_monitor is not None,
         )
         return info
 
@@ -326,6 +344,36 @@ class QueryService:
 
     def metrics_snapshot(self) -> Dict[str, Any]:
         return self.registry.snapshot()
+
+    def health(self) -> Dict[str, Any]:
+        """The versioned ``health`` envelope body (works with health off).
+
+        Always cheap and safe to poll: it reads the admission gauges and
+        the worker roster, and - when the windowed monitor is enabled -
+        re-evaluates the SLO state machine so alerts resolve on the poll
+        even when traffic has stopped.
+        """
+        return build_health(
+            self.health_monitor,
+            queue_depth=self.admission.queue_depth,
+            inflight=self.admission.inflight,
+            max_queue=self.admission_config.max_queue,
+            workers=self.pool.worker_stats(),
+            closed=self._closed.is_set(),
+        )
+
+    def export_alerts(self, target: Union[str, IO[str]]) -> int:
+        """Write the SLO alert log as JSONL; returns the event count.
+
+        Raises :class:`RuntimeError` when the service runs without the
+        windowed monitor (there is no alert state machine to export).
+        """
+        if self.health_monitor is None:
+            raise RuntimeError(
+                "alert export requires the service to run with health"
+                " tracking enabled (HealthConfig)"
+            )
+        return self.health_monitor.export_alerts(target)
 
     def close(self) -> None:
         """Refuse new work and release engine resources (idempotent)."""

@@ -202,12 +202,35 @@ class TestRegistry:
         reg.histogram("dur").observe(1.5)
         reg.histogram("dur").observe(3.0)
         text = reg.prometheus_text()
+        assert "# HELP runs " in text
         assert "# TYPE runs counter" in text
-        assert "runs{pipeline=join} 2" in text
+        assert 'runs{pipeline="join"} 2' in text
+        assert "# HELP dur " in text
         assert "# TYPE dur histogram" in text
-        assert "dur_bucket{le=2} 1" in text
-        assert "dur_bucket{le=+Inf} 2" in text
+        assert 'dur_bucket{le="2"} 1' in text
+        assert 'dur_bucket{le="+Inf"} 2' in text
         assert "dur_count 2" in text
+
+    def test_prometheus_text_escapes_hostile_label_values(self):
+        # A scraper must get exactly one series line back out of each of
+        # these; the exposition-format escapes are \\, \", and \n.
+        reg = MetricsRegistry()
+        reg.counter("runs", path='C:\\tmp\\"x"\nrest').inc(1)
+        text = reg.prometheus_text()
+        assert 'runs{path="C:\\\\tmp\\\\\\"x\\"\\nrest"} 1' in text
+        for line in text.splitlines():
+            assert "\r" not in line  # one logical line per series
+        # The raw control character never leaks into the exposition.
+        assert "\nrest" not in text.replace("\\n", "")
+
+    def test_prometheus_help_lines_escape_newlines(self):
+        from repro.obs.metrics import register_metric_help
+
+        reg = MetricsRegistry()
+        reg.counter("weird_family").inc()
+        register_metric_help("weird_family", "line one\nline two \\ slash")
+        text = reg.prometheus_text()
+        assert "# HELP weird_family line one\\nline two \\\\ slash" in text
 
 
 class TestKeys:

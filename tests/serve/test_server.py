@@ -4,7 +4,7 @@ import asyncio
 import json
 import threading
 
-from repro.serve import QueryService, ServeFrontend, send_envelope
+from repro.serve import ServeFrontend, send_envelope
 from repro.serve.server import MAX_LINE_BYTES
 
 
@@ -42,6 +42,10 @@ class TestProtocol:
                 },
             )
             out["metrics"] = send_envelope(host, port, {"kind": "metrics"})
+            out["health"] = send_envelope(host, port, {"kind": "health"})
+            out["no_timeout"] = send_envelope(
+                host, port, {"kind": "ping"}, timeout=None
+            )
             out["shutdown"] = send_envelope(host, port, {"kind": "shutdown"})
             return out
 
@@ -52,6 +56,13 @@ class TestProtocol:
         assert response["status"] == "ok"
         assert response["schema"] == "repro.serve/response@1"
         assert "serve_requests" in res["metrics"]["text"]
+        health = res["health"]["health"]
+        assert health["schema"] == "repro.serve/health@1"
+        assert health["verdict"] in ("ready", "degraded")
+        assert health["windowed"] is False  # default service: no monitor
+        assert len(health["workers"]) == 2
+        # timeout=None (wait forever) must still complete a round trip.
+        assert res["no_timeout"] == {"kind": "pong"}
         assert res["shutdown"] == {"kind": "shutdown-ack"}
 
     def test_response_matches_direct_submit(self, service):
