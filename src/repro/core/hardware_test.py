@@ -73,7 +73,9 @@ class HardwareSegmentTest:
     def __init__(self, config: Optional[HardwareConfig] = None) -> None:
         self.config = config if config is not None else HardwareConfig()
         self.pipeline = GraphicsPipeline(
-            self.config.resolution, limits=self.config.limits
+            self.config.resolution,
+            limits=self.config.limits,
+            raster_backend=self.config.raster_backend,
         )
         st = self.pipeline.state
         st.antialias = True  # step 2.1

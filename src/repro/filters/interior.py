@@ -30,8 +30,10 @@ import numpy as np
 
 from ..geometry.polygon import Polygon
 from ..geometry.rect import Rect
-from ..gpu.raster_line import rasterize_line_aa_conservative
-from ..gpu.raster_polygon import rasterize_polygon_evenodd
+from ..gpu.raster_vector import (
+    polygon_fill_coverage_mask,
+    ring_boundary_coverage_mask,
+)
 
 #: Width (in tile units) of the conservative boundary footprint.  Any value
 #: > 0 covers all tiles the segment touches; keep it tiny so the filter does
@@ -74,27 +76,17 @@ class InteriorFilter:
 
     def _compute_interior(self) -> np.ndarray:
         n = self.tiles_per_side
-        coords = [self._to_tile_coords(p.x, p.y) for p in self.query.vertices]
+        arr = np.array(
+            [self._to_tile_coords(p.x, p.y) for p in self.query.vertices],
+            dtype=np.float64,
+        )
 
-        # Tiles whose center is inside the polygon (even-odd scanline).
-        inside = np.zeros((n, n), dtype=np.float32)
-        rasterize_polygon_evenodd(inside, coords, color=1.0)
-
-        # Tiles touched by the boundary: never completely interior.
-        touched = np.zeros((n, n), dtype=np.float32)
-        prev = coords[-1]
-        for cur in coords:
-            rasterize_line_aa_conservative(
-                touched,
-                prev[0],
-                prev[1],
-                cur[0],
-                cur[1],
-                width_px=_BOUNDARY_FOOTPRINT,
-                color=1.0,
-            )
-            prev = cur
-        return (inside > 0.0) & (touched == 0.0)
+        # Tiles whose center is inside the polygon (even-odd fill) minus
+        # tiles touched by the boundary (conservative footprint): both as
+        # whole-draw-call coverage masks, one kernel invocation each.
+        inside = polygon_fill_coverage_mask((n, n), arr)
+        touched = ring_boundary_coverage_mask((n, n), arr, _BOUNDARY_FOOTPRINT)
+        return inside & ~touched
 
     def covers(self, mbr: Rect) -> bool:
         """True when ``mbr`` is completely covered by interior tiles.

@@ -55,8 +55,10 @@ import numpy as np
 
 from ..geometry.polygon import Polygon
 from ..geometry.rect import Rect
-from ..gpu.raster_line import rasterize_line_aa_conservative
-from ..gpu.raster_polygon import rasterize_polygon_evenodd
+from ..gpu.raster_vector import (
+    polygon_fill_coverage_mask,
+    ring_boundary_coverage_mask,
+)
 from .interior import _BOUNDARY_FOOTPRINT
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
@@ -244,30 +246,21 @@ class IntervalApproximation:
         # Vertices in local cell coordinates of the footprint window; the
         # rasterizers clip to the buffer, so out-of-window (clipped)
         # geometry still marks every in-window cell it touches.
-        coords = [
-            (
-                (v.x - grid.world.xmin) / grid.cell_w - ix0,
-                (v.y - grid.world.ymin) / grid.cell_h - iy0,
-            )
-            for v in polygon.vertices
-        ]
-        inside = np.zeros((height, width), dtype=np.float32)
-        rasterize_polygon_evenodd(inside, coords, color=1.0)
-        touched = np.zeros((height, width), dtype=np.float32)
-        prev = coords[-1]
-        for cur in coords:
-            rasterize_line_aa_conservative(
-                touched,
-                prev[0],
-                prev[1],
-                cur[0],
-                cur[1],
-                width_px=_BOUNDARY_FOOTPRINT,
-                color=1.0,
-            )
-            prev = cur
-        touched_mask = touched > 0.0
-        full_mask = (inside > 0.0) & ~touched_mask
+        coords = np.array(
+            [
+                (
+                    (v.x - grid.world.xmin) / grid.cell_w - ix0,
+                    (v.y - grid.world.ymin) / grid.cell_h - iy0,
+                )
+                for v in polygon.vertices
+            ],
+            dtype=np.float64,
+        )
+        inside = polygon_fill_coverage_mask((height, width), coords)
+        touched_mask = ring_boundary_coverage_mask(
+            (height, width), coords, _BOUNDARY_FOOTPRINT
+        )
+        full_mask = inside & ~touched_mask
         n = grid.cells_per_side
         js, is_ = np.nonzero(full_mask | touched_mask)
         ids = (iy0 + js.astype(np.int64)) * n + (ix0 + is_.astype(np.int64))

@@ -24,7 +24,18 @@ from .raster_bulk import (
     edges_coverage_masks_grouped,
     rasterize_edges_bulk,
 )
-from .raster_polygon import polygon_coverage_mask, rasterize_polygon_evenodd
+from .raster_polygon import (
+    polygon_coverage_mask,
+    rasterize_polygon_evenodd,
+    scanline_row_bounds,
+)
+from .raster_vector import (
+    RASTER_BACKENDS,
+    lines_basic_coverage_mask,
+    lines_basic_coverage_mask_reference,
+    polygon_fill_coverage_mask,
+    ring_boundary_coverage_mask,
+)
 from .tiled import TiledPipeline, atlas_layout
 from .voronoi import discrete_voronoi, site_distances_at
 from .state import (
@@ -45,6 +56,7 @@ __all__ = [
     "GpuCostModel",
     "GraphicsPipeline",
     "OVERLAP_COLOR",
+    "RASTER_BACKENDS",
     "RasterState",
     "TiledPipeline",
     "aa_rect_axes",
@@ -53,14 +65,19 @@ __all__ = [
     "distance_field",
     "edges_coverage_mask",
     "edges_coverage_masks_grouped",
+    "lines_basic_coverage_mask",
+    "lines_basic_coverage_mask_reference",
     "min_center_distance",
     "rasterize_edges_bulk",
     "site_distances_at",
     "within_pixel_distance",
     "polygon_coverage_mask",
+    "polygon_fill_coverage_mask",
     "rasterize_line_aa_conservative",
     "rasterize_line_basic",
     "rasterize_point_basic",
     "rasterize_point_conservative",
     "rasterize_polygon_evenodd",
+    "ring_boundary_coverage_mask",
+    "scanline_row_bounds",
 ]

@@ -32,9 +32,14 @@ from ..obs.capture import current_recorder
 from .costmodel import CostCounters
 from .framebuffer import Framebuffer
 from .raster_bulk import edges_coverage_mask
-from .raster_line import rasterize_line_basic
 from .raster_point import rasterize_point_basic, rasterize_point_conservative
-from .raster_polygon import rasterize_polygon_evenodd
+from .raster_polygon import polygon_coverage_mask
+from .raster_vector import (
+    RASTER_BACKENDS,
+    lines_basic_coverage_mask,
+    lines_basic_coverage_mask_reference,
+    polygon_fill_coverage_mask,
+)
 from .state import DeviceLimits, RasterState
 
 Coords = Sequence[Tuple[float, float]]
@@ -76,9 +81,20 @@ class GraphicsPipeline:
         width: int,
         height: Optional[int] = None,
         limits: Optional[DeviceLimits] = None,
+        raster_backend: str = "vector",
     ) -> None:
         height = width if height is None else height
         self.limits = limits if limits is not None else DeviceLimits()
+        if raster_backend not in RASTER_BACKENDS:
+            raise ValueError(
+                f"unknown raster backend {raster_backend!r}; "
+                f"choose from {RASTER_BACKENDS}"
+            )
+        #: Which basic-rule rasterizers produce coverage masks: the NumPy
+        #: whole-draw-call kernels ("vector", the default) or the retained
+        #: pure-Python spec loops ("reference").  Bit-identical outputs;
+        #: the reference exists for property tests and the bench gate.
+        self.raster_backend = raster_backend
         if width < 1 or height < 1:
             raise ValueError("viewport must be at least 1x1")
         if width > self.limits.max_viewport or height > self.limits.max_viewport:
@@ -407,7 +423,11 @@ class GraphicsPipeline:
         if kept != edges.shape[0]:
             edges = edges[keep]
 
-        # Rasterization stage.
+        # Rasterization stage: both rules produce the draw call's coverage
+        # mask (its fragment set), so every draw type flows through the
+        # same per-fragment pipeline.  Historically the basic path wrote
+        # fb.color directly, silently skipping depth/stencil/blend/logic
+        # state that only the anti-aliased path honored.
         if state.antialias:
             mask = edges_coverage_mask(
                 (self.height, self.width),
@@ -417,14 +437,13 @@ class GraphicsPipeline:
             )
             if cache_key is not None:
                 cache.store(cache_key, mask)
-            written = self._apply_fragment_ops(mask)
+        elif self.raster_backend == "reference":
+            mask = lines_basic_coverage_mask_reference(
+                (self.height, self.width), edges
+            )
         else:
-            written = 0
-            for x0, y0, x1, y1 in edges:
-                written += rasterize_line_basic(
-                    self.fb.color, x0, y0, x1, y1, color=state.color
-                )
-        self.counters.pixels_written += written
+            mask = lines_basic_coverage_mask((self.height, self.width), edges)
+        self.counters.pixels_written += self._apply_fragment_ops(mask)
 
     def _apply_fragment_ops(self, mask: np.ndarray) -> int:
         """Apply the per-fragment pipeline to one draw call's coverage mask.
@@ -466,7 +485,13 @@ class GraphicsPipeline:
         return written
 
     def draw_point(self, x: float, y: float) -> None:
-        """Render a single point under the current state."""
+        """Render a single point under the current state.
+
+        The point's coverage mask (one truncated pixel, or the wide
+        conservative square) goes through :meth:`_apply_fragment_ops`
+        like every other draw, so depth/stencil/blend/logic/color-mask
+        state applies to points too.
+        """
         self.state.validate(self.limits)
         self.counters.draw_calls += 1
         self.counters.points_rendered += 1
@@ -474,29 +499,63 @@ class GraphicsPipeline:
         if recorder is not None:
             recorder.on_draw_point(self, x, y)
         wx, wy = self.data_to_window(x, y)
+        mask = np.zeros((self.height, self.width), dtype=bool)
         if self.state.antialias and self.state.point_size > 1.0:
-            written = rasterize_point_conservative(
-                self.fb.color, wx, wy, self.state.point_size, self.state.color
+            rasterize_point_conservative(
+                mask, wx, wy, self.state.point_size, color=True
             )
         else:
-            written = rasterize_point_basic(self.fb.color, wx, wy, self.state.color)
-        self.counters.pixels_written += written
+            rasterize_point_basic(mask, wx, wy, color=True)
+        self.counters.pixels_written += self._apply_fragment_ops(mask)
 
     def draw_filled_polygon(self, coords: Coords) -> None:
-        """Render a filled polygon (convex or not, via even-odd scanline).
+        """Render a filled polygon (convex or not, via even-odd fill).
 
         Real hardware only fills convex polygons; the paper's technique
         avoids filling entirely.  The simulation offers it for completeness
-        (visualizations, the interior-filter reference path).
+        (visualizations, the interior-filter reference path).  Like edge
+        draws, the fill produces a coverage mask that flows through
+        :meth:`_apply_fragment_ops` under the current state.
         """
         self.state.validate(self.limits)
+        arr = np.asarray(coords, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2 or arr.shape[0] < 3:
+            raise ValueError("polygon needs at least 3 vertices")
         self.counters.draw_calls += 1
         recorder = current_recorder()
         if recorder is not None:
             recorder.on_draw_polygon(self, coords)
-        window_coords = [self.data_to_window(x, y) for x, y in coords]
-        written = rasterize_polygon_evenodd(
-            self.fb.color, window_coords, color=self.state.color
+
+        # Transformation stage (vectorized; bit-identical to per-vertex
+        # data_to_window).
+        window = (arr - self._offset4[:2]) * self._scale
+
+        # Clipping stage *accounting*: edges whose footprint cannot touch
+        # the viewport count as clipped away, exactly like the edge path,
+        # preserving the submitted == rendered + clipped-away identity
+        # across draw types.  The fill itself still sees every vertex -
+        # an edge far outside the viewport can bound interior that covers
+        # it (hardware would clip-and-retessellate; the even-odd parity
+        # over in-buffer pixel centers is equivalent).
+        starts = np.roll(window, 1, axis=0)
+        pad = 1.0  # fill coverage reaches < 1 px beyond an edge's bbox
+        x_lo = np.minimum(starts[:, 0], window[:, 0])
+        x_hi = np.maximum(starts[:, 0], window[:, 0])
+        y_lo = np.minimum(starts[:, 1], window[:, 1])
+        y_hi = np.maximum(starts[:, 1], window[:, 1])
+        keep = (
+            (x_hi >= -pad)
+            & (x_lo <= self.width + pad)
+            & (y_hi >= -pad)
+            & (y_lo <= self.height + pad)
         )
-        self.counters.pixels_written += written
-        self.counters.edges_rendered += len(coords)
+        kept = int(np.count_nonzero(keep))
+        self.counters.edges_rendered += kept
+        self.counters.edges_clipped_away += arr.shape[0] - kept
+
+        # Rasterization stage: even-odd coverage mask of the whole draw.
+        if self.raster_backend == "reference":
+            mask = polygon_coverage_mask((self.height, self.width), window)
+        else:
+            mask = polygon_fill_coverage_mask((self.height, self.width), window)
+        self.counters.pixels_written += self._apply_fragment_ops(mask)

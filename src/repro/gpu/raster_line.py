@@ -32,7 +32,7 @@ from typing import Tuple
 
 import numpy as np
 
-from .raster_point import rasterize_point_conservative
+from .raster_point import point_conservative_range, rasterize_point_conservative
 
 #: Slack added to every coverage comparison.  Rounding in the unit-vector
 #: computation can push an exact boundary touch (rect corner on cell corner)
@@ -141,7 +141,10 @@ def rasterize_line_aa_conservative(
     of the distance test, Figure 6), turning the footprint into a superset of
     the capsule of radius ``width_px / 2`` around the segment.
 
-    Returns the number of pixels written.
+    Returns the number of *distinct* pixels written.  Pixels covered by
+    both the rectangle and a cap (or by both caps) count once - the same
+    set semantics as the mask-based bulk path, so serial and bulk
+    ``pixels_written`` accounting agree per edge.
     """
     if width_px <= 0.0:
         raise ValueError("line width must be positive")
@@ -159,7 +162,7 @@ def rasterize_line_aa_conservative(
     i1 = min(math.floor(mx + ext_x + 0.5), buf_width - 1)
     j0 = max(math.floor(my - ext_y - 0.5), 0)
     j1 = min(math.floor(my + ext_y + 0.5), height - 1)
-    written = 0
+    mask = None
     if i0 <= i1 and j0 <= j1:
         # Separating-axis test between the oriented rectangle and each cell,
         # vectorized over the bounding box.  Cell centers are (i+0.5, j+0.5)
@@ -175,11 +178,38 @@ def rasterize_line_aa_conservative(
             & (np.abs(gx * ux + gy * uy) <= hu + cell_u + COVERAGE_EPS)
             & (np.abs(gx * vx + gy * vy) <= hv + cell_v + COVERAGE_EPS)
         )
-        written = int(mask.sum())
-        if written:
+        if mask.any():
             view = buffer[j0 : j1 + 1, i0 : i1 + 1]
             view[mask] = color
-    if cap_points:
-        written += rasterize_point_conservative(buffer, x0, y0, width_px, color)
-        written += rasterize_point_conservative(buffer, x1, y1, width_px, color)
-    return written
+    if not cap_points:
+        return int(mask.sum()) if mask is not None else 0
+
+    # Caps overlap the rectangle (and, for short segments, each other);
+    # summing per-region counts would inflate pixels_written versus the
+    # mask-based bulk path.  Paint everything into a boolean scratch over
+    # the union bounding box and count distinct pixels once.
+    cap_ranges = [
+        rng
+        for rng in (
+            point_conservative_range(buffer.shape, x0, y0, width_px),
+            point_conservative_range(buffer.shape, x1, y1, width_px),
+        )
+        if rng is not None
+    ]
+    for ci0, ci1, cj0, cj1 in cap_ranges:
+        buffer[cj0 : cj1 + 1, ci0 : ci1 + 1] = color
+    regions = list(cap_ranges)
+    if mask is not None:
+        regions.append((i0, i1, j0, j1))
+    if not regions:
+        return 0
+    lo_i = min(r[0] for r in regions)
+    hi_i = max(r[1] for r in regions)
+    lo_j = min(r[2] for r in regions)
+    hi_j = max(r[3] for r in regions)
+    covered = np.zeros((hi_j - lo_j + 1, hi_i - lo_i + 1), dtype=bool)
+    if mask is not None:
+        covered[j0 - lo_j : j1 + 1 - lo_j, i0 - lo_i : i1 + 1 - lo_i] |= mask
+    for ci0, ci1, cj0, cj1 in cap_ranges:
+        covered[cj0 - lo_j : cj1 + 1 - lo_j, ci0 - lo_i : ci1 + 1 - lo_i] = True
+    return int(np.count_nonzero(covered))

@@ -35,16 +35,18 @@ def rasterize_point_basic(
     return 0
 
 
-def rasterize_point_conservative(
-    buffer: np.ndarray, x: float, y: float, size: float, color: float = 1.0
-) -> int:
-    """Color every pixel whose cell touches the square of side ``size`` at ``(x, y)``.
+def point_conservative_range(
+    shape, x: float, y: float, size: float
+) -> "tuple[int, int, int, int] | None":
+    """Clipped inclusive pixel range ``(i0, i1, j0, j1)`` of a square cap.
 
-    Returns the number of pixels written.
+    ``None`` when the footprint misses the buffer entirely.  Shared by
+    :func:`rasterize_point_conservative` and the distinct-pixel counting
+    of capped anti-aliased lines, so both agree on the exact footprint.
     """
     if size < 0.0:
         raise ValueError("point size must be non-negative")
-    height, width = buffer.shape
+    height, width = shape
     half = size * 0.5
     # Closed cell [i, i+1] intersects the closed square [x-half, x+half]
     # iff i <= x+half and i+1 >= x-half.
@@ -55,6 +57,20 @@ def rasterize_point_conservative(
     j0 = max(math.ceil(y - half - 1.0 - eps), 0)
     j1 = min(math.floor(y + half + eps), height - 1)
     if i0 > i1 or j0 > j1:
+        return None
+    return i0, i1, j0, j1
+
+
+def rasterize_point_conservative(
+    buffer: np.ndarray, x: float, y: float, size: float, color: float = 1.0
+) -> int:
+    """Color every pixel whose cell touches the square of side ``size`` at ``(x, y)``.
+
+    Returns the number of pixels written.
+    """
+    rng = point_conservative_range(buffer.shape, x, y, size)
+    if rng is None:
         return 0
+    i0, i1, j0, j1 = rng
     buffer[j0 : j1 + 1, i0 : i1 + 1] = color
     return (i1 - i0 + 1) * (j1 - j0 + 1)

@@ -26,6 +26,26 @@ from typing import Sequence, Tuple
 import numpy as np
 
 
+def scanline_row_bounds(ymin: float, ymax: float, height: int) -> Tuple[int, int]:
+    """Tight clipped row range whose scanlines a fill can cross.
+
+    A scanline ``yc = j + 0.5`` can carry a crossing only when
+    ``ymin <= yc < ymax`` (the half-open crossing rule), so the tight row
+    range is ``ceil(ymin - 0.5) .. floor(ymax - 0.5)``, with the upper
+    bound stepped down once when ``ymax - 0.5`` lands exactly on a row
+    (``yc == ymax`` is excluded by the half-open rule).  The historical
+    bounds used ``floor`` below and a spurious ``+1`` above, scanning up
+    to two guaranteed-empty rows per polygon per draw.  Returns an
+    inclusive ``(j_min, j_max)``; empty when ``j_min > j_max``.
+    """
+    j_min = max(math.ceil(ymin - 0.5), 0)
+    top = ymax - 0.5
+    j_max = math.floor(top)
+    if j_max == top:  # yc would equal ymax exactly: excluded, step down
+        j_max -= 1
+    return j_min, min(j_max, height - 1)
+
+
 def rasterize_polygon_evenodd(
     buffer: np.ndarray,
     vertices: Sequence[Tuple[float, float]],
@@ -46,8 +66,7 @@ def rasterize_polygon_evenodd(
     x0s, y0s = xs, ys
     x1s, y1s = np.roll(xs, -1), np.roll(ys, -1)
 
-    j_min = max(math.floor(ys.min() - 0.5), 0)
-    j_max = min(math.floor(ys.max() - 0.5) + 1, height - 1)
+    j_min, j_max = scanline_row_bounds(float(ys.min()), float(ys.max()), height)
     written = 0
     for j in range(j_min, j_max + 1):
         yc = j + 0.5

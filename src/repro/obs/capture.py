@@ -176,6 +176,7 @@ class CommandRecorder:
             },
             state=state,
             window=_rect_list(pipeline.window),
+            raster_backend=pipeline.raster_backend,
         )
 
     def _sync_state(self, pid: str, pipeline: Any) -> None:
@@ -289,6 +290,7 @@ class CommandRecorder:
                     "max_point_size": limits.max_point_size,
                     "max_viewport": limits.max_viewport,
                 },
+                raster_backend=tiled.base.raster_backend,
             )
         widths_arr = np.asarray(widths, dtype=np.float64)
         self._emit(
@@ -527,6 +529,9 @@ def replay_events(
                     event["width"],
                     event["height"],
                     limits=DeviceLimits(**event["limits"]),
+                    # Captures predating the backend knob replay on the
+                    # default; both backends are bit-identical anyway.
+                    raster_backend=event.get("raster_backend", "vector"),
                 )
                 for name, value in event["state"].items():
                     setattr(p.state, name, value)
@@ -537,6 +542,7 @@ def replay_events(
                     event["tile_width"],
                     event["tile_height"],
                     limits=DeviceLimits(**event["limits"]),
+                    raster_backend=event.get("raster_backend", "vector"),
                 )
                 tp = TiledPipeline(base, max_tiles=event["max_tiles"])
                 check(event, "grid_cols", event["grid_cols"], tp.grid_cols)

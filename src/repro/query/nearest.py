@@ -64,7 +64,9 @@ class NearestNeighborQuery:
         self._pipeline: Optional[GraphicsPipeline] = None
         if hardware is not None:
             self._pipeline = GraphicsPipeline(
-                hardware.resolution, limits=hardware.limits
+                hardware.resolution,
+                limits=hardware.limits,
+                raster_backend=hardware.raster_backend,
             )
 
     # -- software strategy ---------------------------------------------------

@@ -177,3 +177,45 @@ class TestConservativeAA:
             i, j = int(x), int(y)
             if i < n and j < n:
                 assert b[j, i] == 1.0
+
+
+class TestCapCounting:
+    """``pixels_written`` counts distinct pixels, caps included.
+
+    Historically the capped path summed the rect footprint and each cap's
+    rectangle separately, double-counting their overlap, so serial and
+    bulk draws of the same edge disagreed on ``pixels_written``.
+    """
+
+    @settings(max_examples=200)
+    @given(coords, coords, coords, coords, widths)
+    def test_capped_count_equals_distinct_pixels(self, x0, y0, x1, y1, w):
+        b = buf(20)
+        written = rasterize_line_aa_conservative(
+            b, x0, y0, x1, y1, width_px=w, cap_points=True
+        )
+        assert written == int(np.count_nonzero(b))
+
+    @settings(max_examples=200)
+    @given(coords, coords, coords, coords, widths)
+    def test_serial_count_matches_bulk_mask(self, x0, y0, x1, y1, w):
+        """Per edge, the serial count equals the bulk mask's population."""
+        from repro.gpu.raster_bulk import edges_coverage_mask
+
+        b = buf(20)
+        written = rasterize_line_aa_conservative(
+            b, x0, y0, x1, y1, width_px=w, cap_points=True
+        )
+        mask = edges_coverage_mask(
+            (20, 20), np.array([[x0, y0, x1, y1]]), width_px=w, cap_points=True
+        )
+        assert written == int(np.count_nonzero(mask))
+
+    def test_wide_short_segment_overlapping_caps(self):
+        # Caps wider than the segment is long: rect and both caps overlap
+        # heavily; the count must still be the distinct union.
+        b = buf(16)
+        written = rasterize_line_aa_conservative(
+            b, 7.5, 7.5, 8.5, 7.5, width_px=6.0, cap_points=True
+        )
+        assert written == int(np.count_nonzero(b))

@@ -1,0 +1,451 @@
+"""Bit-identity and fragment-routing tests for the vectorized kernels.
+
+The vectorized basic-line (diamond-exit) and polygon-fill (even-odd)
+kernels exist purely for performance; their coverage masks must equal the
+retained pure-Python spec loops *bit for bit* - every comparison against
+the 0.5 diamond radius and every half-open span boundary must resolve the
+same way.  The adversarial families here aim at exactly those boundaries:
+
+* half-integer coordinates put pixel centers exactly on diamond corners
+  and span edges (the reference's ``ceil``/``floor`` tie cases);
+* degenerate segments and repeated vertices (dirty GIS rings);
+* geometry entirely or partially off the buffer (clipping interplay);
+* non-square buffers (row/column transposition bugs).
+
+The fragment-routing tests pin the tentpole property: *every* draw type
+(basic lines, anti-aliased lines, filled polygons, points) flows through
+the same per-fragment pipeline, so depth/stencil/blend/logic/color-mask
+state behaves identically regardless of which rasterizer produced the
+fragments.  Historically the basic paths wrote ``fb.color`` directly and
+silently ignored all of that state.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.gpu import (
+    GraphicsPipeline,
+    RASTER_BACKENDS,
+    lines_basic_coverage_mask,
+    lines_basic_coverage_mask_reference,
+    polygon_coverage_mask,
+    polygon_fill_coverage_mask,
+    rasterize_line_aa_conservative,
+    ring_boundary_coverage_mask,
+    scanline_row_bounds,
+)
+
+# Half-integer coordinates in [-4, 12]: pixel centers land exactly on
+# diamond boundaries and span edges, the reference's tie-break cases.
+half_coords = st.integers(min_value=-8, max_value=24).map(lambda v: v / 2.0)
+# 1/8-grid coordinates (exactly representable, GIS-style).
+grid_coords = st.integers(min_value=-32, max_value=96).map(lambda v: v / 8.0)
+coords = st.one_of(half_coords, grid_coords)
+
+shapes = st.sampled_from([(8, 8), (5, 9), (9, 5), (1, 7), (7, 1), (3, 3)])
+
+edge_lists = st.lists(
+    st.tuples(coords, coords, coords, coords), min_size=0, max_size=8
+).map(lambda rows: np.array(rows, dtype=np.float64).reshape(-1, 4))
+
+vertex_lists = st.lists(
+    st.tuples(coords, coords), min_size=3, max_size=10
+).map(lambda rows: np.array(rows, dtype=np.float64))
+
+
+def brute_force_evenodd(shape, vertices):
+    """Per-pixel even-odd test straight from the half-open span rule.
+
+    A center ``cx`` lies in the half-open span ``[x_enter, x_exit)`` iff
+    an odd number of scanline crossings satisfy ``cross_x <= cx`` - an
+    independent formulation of the rule both implementations encode as
+    sorted spans / parity toggles.
+    """
+    height, width = shape
+    vs = np.asarray(vertices, dtype=np.float64)
+    out = np.zeros(shape, dtype=bool)
+    n = len(vs)
+    for j in range(height):
+        yc = j + 0.5
+        crossings = []
+        for k in range(n):
+            x0, y0 = vs[k]
+            x1, y1 = vs[(k + 1) % n]
+            if (y0 > yc) != (y1 > yc):
+                crossings.append(x0 + (yc - y0) * (x1 - x0) / (y1 - y0))
+        for i in range(width):
+            cx = i + 0.5
+            out[j, i] = sum(1 for c in crossings if c <= cx) % 2 == 1
+    return out
+
+
+class TestValidation:
+    def test_lines_bad_shape(self):
+        with pytest.raises(ValueError):
+            lines_basic_coverage_mask((4, 4), np.zeros((3, 3)))
+
+    def test_lines_empty(self):
+        mask = lines_basic_coverage_mask((4, 6), np.empty((0, 4)))
+        assert mask.shape == (4, 6) and not mask.any()
+
+    def test_polygon_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            polygon_fill_coverage_mask((4, 4), np.zeros((2, 2)))
+
+    def test_polygon_bad_shape(self):
+        with pytest.raises(ValueError):
+            polygon_fill_coverage_mask((4, 4), np.zeros((4, 3)))
+
+
+class TestLinesBitIdentity:
+    @settings(max_examples=300, deadline=None)
+    @given(shape=shapes, edges=edge_lists)
+    def test_matches_reference(self, shape, edges):
+        got = lines_basic_coverage_mask(shape, edges)
+        want = lines_basic_coverage_mask_reference(shape, edges)
+        assert np.array_equal(got, want)
+
+    def test_degenerate_segment_is_empty(self):
+        # A zero-length segment never exits any diamond: no pixels.
+        edges = np.array([[3.5, 3.5, 3.5, 3.5]])
+        assert not lines_basic_coverage_mask((8, 8), edges).any()
+        assert not lines_basic_coverage_mask_reference((8, 8), edges).any()
+
+    def test_endpoint_inside_diamond_suppresses_pixel(self):
+        # The diamond-exit rule: the end point's own diamond is not lit.
+        edges = np.array([[0.5, 2.5, 4.4, 2.5]])
+        got = lines_basic_coverage_mask((8, 8), edges)
+        want = lines_basic_coverage_mask_reference((8, 8), edges)
+        assert np.array_equal(got, want)
+        assert not got[2, 4]  # end point (4.4, 2.5) is inside pixel 4's diamond
+
+    def test_off_buffer_segment(self):
+        edges = np.array([[-10.0, -10.0, -5.0, -8.0]])
+        assert not lines_basic_coverage_mask((6, 6), edges).any()
+
+    def test_many_edges_chunking(self):
+        # Exceed the chunk size to exercise the chunked OR-reduction.
+        rng = np.random.default_rng(7)
+        edges = rng.uniform(-2.0, 10.0, size=(300, 4))
+        shape = (32, 32)  # 300 * 1024 > _DIAMOND_CHUNK_BUDGET
+        got = lines_basic_coverage_mask(shape, edges)
+        want = lines_basic_coverage_mask_reference(shape, edges)
+        assert np.array_equal(got, want)
+
+
+class TestPolygonBitIdentity:
+    @settings(max_examples=300, deadline=None)
+    @given(shape=shapes, vertices=vertex_lists)
+    def test_matches_reference(self, shape, vertices):
+        got = polygon_fill_coverage_mask(shape, vertices)
+        want = polygon_coverage_mask(shape, vertices)
+        assert np.array_equal(got, want)
+
+    @settings(max_examples=150, deadline=None)
+    @given(shape=shapes, vertices=vertex_lists)
+    def test_matches_brute_force(self, shape, vertices):
+        got = polygon_fill_coverage_mask(shape, vertices)
+        assert np.array_equal(got, brute_force_evenodd(shape, vertices))
+
+    def test_half_integer_vertices_exact_boundaries(self):
+        # Vertices on half-integers: every span boundary coincides with a
+        # pixel center, the reference's exact-tie step-down cases.
+        square = np.array([[1.5, 1.5], [6.5, 1.5], [6.5, 6.5], [1.5, 6.5]])
+        got = polygon_fill_coverage_mask((8, 8), square)
+        want = polygon_coverage_mask((8, 8), square)
+        assert np.array_equal(got, want)
+        assert np.array_equal(got, brute_force_evenodd((8, 8), square))
+        # Half-open [1.5, 6.5) spans: columns/rows 1..5 inclusive.
+        expect = np.zeros((8, 8), dtype=bool)
+        expect[1:6, 1:6] = True
+        assert np.array_equal(got, expect)
+
+    def test_self_intersecting_bowtie(self):
+        bowtie = np.array([[0.0, 0.0], [6.0, 6.0], [6.0, 0.0], [0.0, 6.0]])
+        got = polygon_fill_coverage_mask((8, 8), bowtie)
+        assert np.array_equal(got, polygon_coverage_mask((8, 8), bowtie))
+
+    def test_polygon_larger_than_buffer(self):
+        # All edges off-buffer, interior covers everything.
+        big = np.array([[-10.0, -10.0], [20.0, -10.0], [20.0, 20.0], [-10.0, 20.0]])
+        got = polygon_fill_coverage_mask((6, 6), big)
+        assert got.all()
+        assert np.array_equal(got, polygon_coverage_mask((6, 6), big))
+
+    def test_duplicate_vertices(self):
+        ring = np.array([[1.0, 1.0], [1.0, 1.0], [5.0, 1.0], [5.0, 5.0], [1.0, 5.0]])
+        got = polygon_fill_coverage_mask((8, 8), ring)
+        assert np.array_equal(got, polygon_coverage_mask((8, 8), ring))
+
+
+class TestRingBoundary:
+    """The localized ring-boundary kernel vs the serial AA loop.
+
+    Grid-aligned vertices keep the kernel's integer bbox translation exact
+    in float64, so the masks are bit-identical to the per-edge serial
+    rasterizer (for arbitrary floats the kernel stays conservative within
+    the shared COVERAGE_EPS slack).
+    """
+
+    @staticmethod
+    def serial(shape, arr, width_px):
+        buf = np.zeros(shape, dtype=np.float32)
+        prev = arr[-1]
+        for cur in arr:
+            rasterize_line_aa_conservative(
+                buf, prev[0], prev[1], cur[0], cur[1], width_px=width_px
+            )
+            prev = cur
+        return buf > 0.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        shape=shapes,
+        vertices=vertex_lists,
+        width=st.sampled_from([1e-9, 0.5, 1.5]),
+    )
+    def test_matches_serial_loop(self, shape, vertices, width):
+        got = ring_boundary_coverage_mask(shape, vertices, width)
+        assert np.array_equal(got, self.serial(shape, vertices, width))
+
+    def test_long_ring_spans_groups(self):
+        # More vertices than one locality group: exercises the per-arc
+        # bounding boxes and the OR-composition across groups.
+        t = np.linspace(0.0, 2.0 * np.pi, 120, endpoint=False)
+        ring = np.stack(
+            [16.0 + 12.0 * np.cos(t), 16.0 + 12.0 * np.sin(t)], axis=1
+        )
+        ring = np.round(ring * 8.0) / 8.0
+        got = ring_boundary_coverage_mask((32, 32), ring, 1e-9)
+        assert np.array_equal(got, self.serial((32, 32), ring, 1e-9))
+
+    def test_off_buffer_ring(self):
+        ring = np.array([[-20.0, -20.0], [-10.0, -20.0], [-15.0, -10.0]])
+        assert not ring_boundary_coverage_mask((8, 8), ring, 1.0).any()
+
+
+class TestScanlineRowBounds:
+    def test_exact_half_integer_top_excluded(self):
+        # ymax = 4.5 puts scanline yc = 4.5 exactly at the top: excluded
+        # by the half-open rule, so the tight bound stops at row 3.
+        assert scanline_row_bounds(1.5, 4.5, 8) == (1, 3)
+
+    def test_exact_half_integer_bottom_included(self):
+        # ymin = 1.5: scanline yc = 1.5 (row 1) satisfies ymin <= yc.
+        j_min, _ = scanline_row_bounds(1.5, 6.0, 8)
+        assert j_min == 1
+
+    def test_fractional_bounds(self):
+        assert scanline_row_bounds(1.2, 4.8, 8) == (1, 4)
+
+    def test_clamps_to_buffer(self):
+        assert scanline_row_bounds(-10.0, 100.0, 8) == (0, 7)
+
+    def test_empty_when_above_buffer(self):
+        j_min, j_max = scanline_row_bounds(10.0, 12.0, 8)
+        assert j_min > j_max
+
+    def test_no_row_outside_bounds_ever_fills(self):
+        # The row above the tight bound is provably empty: thin slab whose
+        # ymax sits exactly on a scanline.
+        slab = np.array([[0.0, 2.5], [8.0, 2.5], [8.0, 4.5], [0.0, 4.5]])
+        got = polygon_fill_coverage_mask((8, 8), slab)
+        assert not got[4].any()  # yc = 4.5 == ymax: excluded
+        assert got[2].any() and got[3].any()
+
+
+def _run_draws(backend, fragment_setup):
+    """Execute one of each draw type under ``fragment_setup``.
+
+    Returns the full framebuffer planes plus the counters, so callers can
+    assert bit-identity across backends or across fragment-state setups.
+    """
+    pl = GraphicsPipeline(16, raster_backend=backend)
+    pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+    pl.clear_color(0.0)
+    pl.clear_depth(0.5)
+    pl.clear_stencil(0)
+    fragment_setup(pl.state)
+
+    pl.state.antialias = False
+    pl.draw_polygon_edges([(1.2, 1.3), (11.7, 2.4), (9.1, 12.8)])
+    pl.draw_filled_polygon([(3.0, 3.0), (13.0, 4.0), (8.0, 13.0)])
+    pl.draw_point(5.3, 6.7)
+    pl.state.antialias = True
+    pl.draw_polygon_edges([(2.1, 2.2), (12.3, 3.1), (7.7, 11.9)])
+    return (
+        pl.fb.color.copy(),
+        pl.fb.depth.copy(),
+        pl.fb.stencil.copy(),
+        pl.counters,
+    )
+
+
+class TestBackendEquivalence:
+    """The two backends must be indistinguishable: buffers and counters."""
+
+    @pytest.mark.parametrize(
+        "setup",
+        [
+            lambda st: None,
+            lambda st: setattr(st, "blend", True),
+            lambda st: (setattr(st, "logic_op", "or"), setattr(st, "color", 3.0)),
+            lambda st: setattr(st, "stencil_op", "incr"),
+        ],
+        ids=["replace", "blend", "logic_or", "stencil"],
+    )
+    def test_bit_identical_buffers_and_counters(self, setup):
+        results = {b: _run_draws(b, setup) for b in RASTER_BACKENDS}
+        color_v, depth_v, stencil_v, counters_v = results["vector"]
+        color_r, depth_r, stencil_r, counters_r = results["reference"]
+        assert np.array_equal(color_v, color_r)
+        assert np.array_equal(depth_v, depth_r)
+        assert np.array_equal(stencil_v, stencil_r)
+        assert counters_v == counters_r
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            GraphicsPipeline(8, raster_backend="cuda")
+
+
+class TestFragmentRouting:
+    """Every draw type honors the full fragment pipeline (the tentpole)."""
+
+    @pytest.mark.parametrize("draw", ["basic_lines", "fill", "point", "aa_lines"])
+    def test_color_write_false_writes_nothing(self, draw):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+        pl.clear_color(0.0)
+        pl.state.color_write = False
+        self._draw(pl, draw)
+        assert not pl.fb.color.any()
+        # Fragments still count as written (they ran the pipeline).
+        assert pl.counters.pixels_written > 0
+
+    @pytest.mark.parametrize("draw", ["basic_lines", "fill", "point", "aa_lines"])
+    def test_depth_test_discards_everything(self, draw):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+        pl.clear_color(0.0)
+        pl.clear_depth(1.0)
+        pl.state.depth_test = "equal"
+        pl.state.depth_value = 0.25  # matches nothing in the cleared buffer
+        self._draw(pl, draw)
+        assert not pl.fb.color.any()
+        assert pl.counters.pixels_written == 0
+
+    @pytest.mark.parametrize("draw", ["basic_lines", "fill", "point", "aa_lines"])
+    def test_stencil_increments_once_per_fragment(self, draw):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+        pl.clear_color(0.0)
+        pl.clear_stencil(0)
+        pl.state.stencil_op = "incr"
+        self._draw(pl, draw)
+        # One draw call: each covered pixel is a single fragment, so the
+        # stencil plane is exactly the 0/1 coverage and pixels_written is
+        # its population count (no double counting anywhere).
+        assert set(np.unique(pl.fb.stencil)) <= {0, 1}
+        assert int(pl.fb.stencil.sum()) == pl.counters.pixels_written
+
+    @pytest.mark.parametrize("draw", ["basic_lines", "fill", "point", "aa_lines"])
+    def test_blend_accumulates(self, draw):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+        pl.clear_color(0.0)
+        pl.state.blend = True
+        pl.state.color = 0.5
+        self._draw(pl, draw)
+        self._draw(pl, draw)  # same geometry twice: covered pixels sum to 1.0
+        covered = pl.fb.color > 0.0
+        assert covered.any()
+        assert np.allclose(pl.fb.color[covered], 1.0)
+
+    @pytest.mark.parametrize("draw", ["basic_lines", "fill", "point", "aa_lines"])
+    def test_logic_or_sets_bits(self, draw):
+        pl = GraphicsPipeline(16)
+        pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+        pl.clear_color(0.0)
+        pl.state.logic_op = "or"
+        pl.state.color = 2.0
+        self._draw(pl, draw)
+        pl.state.color = 1.0
+        self._draw(pl, draw)  # same geometry: bits OR to 3
+        covered = pl.fb.color > 0.0
+        assert covered.any()
+        assert np.array_equal(
+            np.unique(pl.fb.color[covered]), np.array([3.0], dtype=np.float32)
+        )
+
+    @staticmethod
+    def _draw(pl, kind):
+        if kind == "basic_lines":
+            pl.state.antialias = False
+            pl.draw_polygon_edges([(1.2, 1.3), (11.7, 2.4), (9.1, 12.8)])
+        elif kind == "fill":
+            pl.draw_filled_polygon([(3.0, 3.0), (13.0, 4.0), (8.0, 13.0)])
+        elif kind == "point":
+            pl.state.antialias = False
+            pl.draw_point(5.3, 6.7)
+        else:
+            pl.state.antialias = True
+            pl.draw_polygon_edges([(2.1, 2.2), (12.3, 3.1), (7.7, 11.9)])
+
+
+class TestCounterIdentities:
+    def test_fill_clipping_identity(self):
+        # Satellite: draw_filled_polygon used to bump edges_rendered by the
+        # vertex count with no clipping stage, breaking the identity
+        # submitted == rendered + clipped_away that edge draws maintain.
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0.0, 0.0, 8.0, 8.0))
+        # The (-50,-50)-(-60,-50) edge lies entirely off-viewport.
+        coords = [
+            (1.0, 1.0),
+            (6.0, 1.0),
+            (6.0, 6.0),
+            (1.0, 6.0),
+            (-50.0, -50.0),
+            (-60.0, -50.0),
+        ]
+        pl.draw_filled_polygon(coords)
+        c = pl.counters
+        assert c.edges_rendered + c.edges_clipped_away == len(coords)
+        assert c.edges_clipped_away == 1
+
+    def test_fill_all_edges_in_viewport(self):
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0.0, 0.0, 8.0, 8.0))
+        pl.draw_filled_polygon([(1.0, 1.0), (6.0, 1.0), (6.0, 6.0), (1.0, 6.0)])
+        c = pl.counters
+        assert c.edges_rendered == 4
+        assert c.edges_clipped_away == 0
+
+    def test_fill_offscreen_edges_still_fill_interior(self):
+        # Clipping is accounting only: a polygon larger than the viewport
+        # has every edge clipped away yet fills every pixel.
+        pl = GraphicsPipeline(8)
+        pl.set_data_window(Rect(0.0, 0.0, 8.0, 8.0))
+        pl.draw_filled_polygon(
+            [(-100.0, -100.0), (100.0, -100.0), (100.0, 100.0), (-100.0, 100.0)]
+        )
+        c = pl.counters
+        assert c.edges_clipped_away == 4
+        assert c.edges_rendered == 0
+        assert (pl.fb.color > 0.0).all()
+        assert c.pixels_written == 64
+
+    def test_pixels_written_is_distinct_fragments_for_every_type(self):
+        # Uniform semantics: pixels_written counts the distinct fragments
+        # that survived fragment ops, for every draw type.
+        for kind in ("basic_lines", "fill", "point", "aa_lines"):
+            pl = GraphicsPipeline(16)
+            pl.set_data_window(Rect(0.0, 0.0, 16.0, 16.0))
+            pl.clear_color(0.0)
+            TestFragmentRouting._draw(pl, kind)
+            assert pl.counters.pixels_written == int(
+                np.count_nonzero(pl.fb.color)
+            ), kind
